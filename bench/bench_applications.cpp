@@ -1,0 +1,72 @@
+// E14 — applications inherit election complexity (paper §1/§6):
+// spanning tree and global-function computation cost only O(N) extra
+// messages and O(1) extra time over the underlying election (C with
+// sense of direction, G without).
+#include <iostream>
+
+#include "celect/apps/global_function.h"
+#include "celect/apps/spanning_tree.h"
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "celect/proto/sod/protocol_c.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(
+      std::cout, "E14a (spanning tree over protocol C, SoD)",
+      "extra = app run − plain election; paper: Θ(N) messages, O(1) "
+      "time.");
+  {
+    Table t({"N", "election msgs", "tree msgs", "extra msgs", "extra/N",
+             "extra time"});
+    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      auto plain = harness::RunElection(proto::sod::MakeProtocolC(), o);
+      auto app = harness::RunElection(
+          apps::MakeSpanningTree(proto::sod::MakeProtocolC()), o);
+      std::uint64_t extra = app.total_messages - plain.total_messages;
+      t.AddRow({Table::Int(n), Table::Int(plain.total_messages),
+                Table::Int(app.total_messages), Table::Int(extra),
+                Table::Num(double(extra) / n),
+                Table::Num(app.quiesce_time.ToDouble() -
+                           plain.quiesce_time.ToDouble())});
+    }
+    t.Print(std::cout);
+  }
+
+  harness::PrintBanner(
+      std::cout, "E14b (global max over protocol G, no SoD)",
+      "query + report + result rounds on top of G at k = log N.");
+  {
+    Table t({"N", "election msgs", "fn msgs", "extra msgs", "extra/N",
+             "extra time"});
+    for (std::uint32_t n = 64; n <= 512; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      auto election = proto::nosod::MakeProtocolG(
+          proto::nosod::MessageOptimalK(n));
+      auto plain = harness::RunElection(election, o);
+      auto input_of = [](sim::NodeId addr) {
+        return static_cast<std::int64_t>(addr * 31 % 997);
+      };
+      auto app = harness::RunElection(
+          apps::MakeGlobalFunction(election, input_of,
+                                   apps::MaxReducer()),
+          o);
+      std::uint64_t extra = app.total_messages - plain.total_messages;
+      t.AddRow({Table::Int(n), Table::Int(plain.total_messages),
+                Table::Int(app.total_messages), Table::Int(extra),
+                Table::Num(double(extra) / n),
+                Table::Num(app.quiesce_time.ToDouble() -
+                           plain.quiesce_time.ToDouble())});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E11 — fault-tolerant election under f initial site failures:
+// O(Nf + N log N) messages, O(N/log N) time, f < N/2 (paper §4 +
+// BKWZ87). Sweeps f at fixed N and N at fixed f.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/fault_tolerant.h"
+#include "celect/util/stats.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(
+      std::cout, "E11a (failure sweep at N = 256)",
+      "Messages grow ~linearly in f (the N·f redundancy term); the run "
+      "still elects exactly one live leader.");
+  {
+    const std::uint32_t n = 256;
+    Table t({"f", "messages", "msgs/(N*(f+logN))", "time", "elected"});
+    std::vector<double> fs, msgs;
+    for (std::uint32_t f : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      RunOptions o;
+      o.n = n;
+      o.failures = f;
+      o.seed = 7 + f;
+      auto r =
+          harness::RunElection(proto::nosod::MakeFaultTolerant(f), o);
+      double denom = n * (f + std::log2(static_cast<double>(n)));
+      if (f > 0) {
+        fs.push_back(f);
+        msgs.push_back(static_cast<double>(r.total_messages));
+      }
+      t.AddRow({Table::Int(f), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / denom, 3),
+                Table::Num(r.leader_time.ToDouble()),
+                r.leader_declarations == 1 ? "yes" : "NO"});
+    }
+    t.Print(std::cout);
+    std::cout << "\nmessage growth in f: f^"
+              << Table::Num(FitPowerLaw(fs, msgs).alpha)
+              << " (paper: ~1 once the N·f term dominates)\n";
+  }
+
+  harness::PrintBanner(
+      std::cout, "E11b (N sweep at f = 8)",
+      "Time stays O(N/log N) despite the failures.");
+  {
+    Table t({"N", "messages", "time", "time/(N/logN)", "elected"});
+    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.failures = 8;
+      o.seed = n;
+      auto r =
+          harness::RunElection(proto::nosod::MakeFaultTolerant(8), o);
+      double log_n = std::log2(static_cast<double>(n));
+      t.AddRow({Table::Int(n), Table::Int(r.total_messages),
+                Table::Num(r.leader_time.ToDouble()),
+                Table::Num(r.leader_time.ToDouble() / (n / log_n), 3),
+                r.leader_declarations == 1 ? "yes" : "NO"});
+    }
+    t.Print(std::cout);
+  }
+
+  harness::PrintBanner(
+      std::cout, "E11c (stress: many seeds, f = N/4)",
+      "100 randomised runs at N = 64, f = 16 — count of runs electing "
+      "exactly one live leader.");
+  {
+    int ok = 0;
+    const int kTrials = 100;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      RunOptions o;
+      o.n = 64;
+      o.failures = 16;
+      o.seed = 1000 + trial;
+      o.delay = trial % 2 ? harness::DelayKind::kRandom
+                          : harness::DelayKind::kUnit;
+      auto r =
+          harness::RunElection(proto::nosod::MakeFaultTolerant(16), o);
+      if (r.leader_declarations == 1) ++ok;
+    }
+    std::cout << ok << "/" << kTrials << " runs elected a unique leader\n";
+  }
+  return 0;
+}

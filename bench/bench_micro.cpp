@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate:
+// event-queue throughput, packet codec, Feistel port permutation, and
+// end-to-end simulation rate per protocol. These guard the simulator's
+// own performance so large sweeps stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/registry.h"
+#include "celect/sim/event_queue.h"
+#include "celect/util/feistel.h"
+#include "celect/util/rng.h"
+#include "celect/wire/packet_codec.h"
+
+namespace {
+
+using namespace celect;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.Push(sim::Time::FromTicks(
+                 static_cast<std::int64_t>(rng.NextBelow(1 << 20))),
+             sim::WakeupEvent{0});
+    }
+    while (auto e = q.Pop()) benchmark::DoNotOptimize(e->at);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+  wire::Packet p{7, {123456, 42, -7}};
+  for (auto _ : state) {
+    auto buf = wire::Encode(p);
+    auto back = wire::Decode(buf);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketEncodeDecode);
+
+void BM_FeistelResolve(benchmark::State& state) {
+  FeistelPermutation perm(static_cast<std::uint64_t>(state.range(0)), 99);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    x = perm.Encrypt(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeistelResolve)->Arg(1023)->Arg(65535);
+
+// Full elections: simulated messages per second of wall time.
+void RunProtocolBench(benchmark::State& state, const char* name,
+                      bool sod) {
+  auto spec = harness::FindProtocol(name);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    harness::RunOptions o;
+    o.n = static_cast<std::uint32_t>(state.range(0));
+    o.mapper = sod ? harness::MapperKind::kSenseOfDirection
+                   : harness::MapperKind::kRandom;
+    auto r = harness::RunElection(spec->make(0), o);
+    messages += r.total_messages;
+    benchmark::DoNotOptimize(r.leader_id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.SetLabel("simulated messages/s");
+}
+
+void BM_ElectionC(benchmark::State& state) {
+  RunProtocolBench(state, "C", true);
+}
+BENCHMARK(BM_ElectionC)->Arg(256)->Arg(1024);
+
+void BM_ElectionG(benchmark::State& state) {
+  RunProtocolBench(state, "G", false);
+}
+BENCHMARK(BM_ElectionG)->Arg(256)->Arg(1024);
+
+void BM_ElectionD(benchmark::State& state) {
+  RunProtocolBench(state, "D", false);
+}
+BENCHMARK(BM_ElectionD)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

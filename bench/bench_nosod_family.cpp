@@ -1,0 +1,86 @@
+// E7 + E9 — the no-sense-of-direction family.
+//   D: O(1) time, O(N²) messages (flooding).
+//   F: O(Nk) messages, O(N/k) time — the k tradeoff, log N <= k <= N.
+// The F sweep is the paper's central tradeoff curve: messages rise
+// linearly in k while time falls as N/k, with D as the k = N endpoint.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/protocol_d.h"
+#include "celect/proto/nosod/protocol_f.h"
+#include "celect/util/stats.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(std::cout, "E7 (protocol D)",
+                       "Flooding: constant time, quadratic messages.");
+  {
+    Table t({"N", "messages", "msgs/N^2", "time"});
+    std::vector<double> ns, msgs;
+    for (std::uint32_t n = 32; n <= 1024; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      auto r = harness::RunElection(proto::nosod::MakeProtocolD(), o);
+      ns.push_back(n);
+      msgs.push_back(static_cast<double>(r.total_messages));
+      t.AddRow({Table::Int(n), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / (double(n) * n), 3),
+                Table::Num(r.leader_time.ToDouble())});
+    }
+    t.Print(std::cout);
+    std::cout << "\nD message growth: N^"
+              << Table::Num(FitPowerLaw(ns, msgs).alpha)
+              << " (paper: 2.0)\n";
+  }
+
+  harness::PrintBanner(
+      std::cout, "E9 (protocol F, k sweep at N = 512)",
+      "O(Nk) messages vs O(N/k) time when all nodes wake together "
+      "(Lemma 4.1). k = N reproduces D; k = log N is message optimal.");
+  {
+    const std::uint32_t n = 512;
+    Table t({"k", "messages", "msgs/(N*k)", "time", "time*(k/N)",
+             "broadcasters"});
+    for (std::uint32_t k : {4u, 9u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+      RunOptions o;
+      o.n = n;
+      auto r = harness::RunElection(proto::nosod::MakeProtocolF(k), o);
+      auto b = r.counters.count("f.broadcasters")
+                   ? r.counters.at("f.broadcasters")
+                   : 0;
+      t.AddRow({Table::Int(k), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / (double(n) * k), 3),
+                Table::Num(r.leader_time.ToDouble()),
+                Table::Num(r.leader_time.ToDouble() * k / n, 3),
+                Table::Int(static_cast<std::uint64_t>(b))});
+    }
+    t.Print(std::cout);
+  }
+
+  harness::PrintBanner(
+      std::cout, "E9b (protocol F, N sweep at k = log N)",
+      "The message-optimal point: O(N log N) messages, O(N/log N) time.");
+  {
+    Table t({"N", "k", "messages", "msgs/(N*logN)", "time",
+             "time/(N/logN)"});
+    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+      std::uint32_t k = static_cast<std::uint32_t>(
+          std::lround(std::log2(static_cast<double>(n))));
+      RunOptions o;
+      o.n = n;
+      auto r = harness::RunElection(proto::nosod::MakeProtocolF(k), o);
+      double log_n = std::log2(static_cast<double>(n));
+      t.AddRow({Table::Int(n), Table::Int(k), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / (n * log_n)),
+                Table::Num(r.leader_time.ToDouble()),
+                Table::Num(r.leader_time.ToDouble() / (n / log_n), 3)});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

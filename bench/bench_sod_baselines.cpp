@@ -1,0 +1,67 @@
+// E2 + E5 — sense-of-direction baselines.
+//   LMW86: O(N) messages, O(N) time (majority capture).
+//   B:     O(N log N) messages, O(log N) time (doubling).
+// The series shows the paper's motivation: LMW86 is message optimal but
+// slow, B is fast but not message optimal; protocol C (bench_sod_protocol_c)
+// gets both.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/sod/lmw86.h"
+#include "celect/proto/sod/protocol_b.h"
+#include "celect/util/stats.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(std::cout, "E2 (LMW86 baseline)",
+                       "Majority capture: O(N) messages, O(N) time under "
+                       "worst-case delays.");
+
+  std::vector<double> ns, lmw_msgs, lmw_times;
+  Table t1({"N", "messages", "msgs/N", "time", "time/N"});
+  for (std::uint32_t n = 32; n <= 2048; n *= 2) {
+    RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    auto r = harness::RunElection(proto::sod::MakeLmw86(), o);
+    double nd = n;
+    ns.push_back(nd);
+    lmw_msgs.push_back(static_cast<double>(r.total_messages));
+    lmw_times.push_back(r.leader_time.ToDouble());
+    t1.AddRow({Table::Int(n), Table::Int(r.total_messages),
+               Table::Num(r.total_messages / nd),
+               Table::Num(r.leader_time.ToDouble()),
+               Table::Num(r.leader_time.ToDouble() / nd, 3)});
+  }
+  t1.Print(std::cout);
+  auto msg_fit = FitPowerLaw(ns, lmw_msgs);
+  std::cout << "\nLMW86 message growth: N^" << Table::Num(msg_fit.alpha)
+            << " (paper: linear, exponent 1)\n";
+
+  harness::PrintBanner(std::cout, "E5 (protocol B)",
+                       "Doubling: O(log N) time but O(N log N) messages.");
+  Table t2({"N", "messages", "msgs/(N*logN)", "time", "time/logN"});
+  std::vector<double> b_times;
+  for (std::uint32_t n = 32; n <= 2048; n *= 2) {
+    RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    auto r = harness::RunElection(proto::sod::MakeProtocolB(), o);
+    double log_n = std::log2(static_cast<double>(n));
+    b_times.push_back(r.leader_time.ToDouble());
+    t2.AddRow({Table::Int(n), Table::Int(r.total_messages),
+               Table::Num(r.total_messages / (n * log_n)),
+               Table::Num(r.leader_time.ToDouble()),
+               Table::Num(r.leader_time.ToDouble() / log_n)});
+  }
+  t2.Print(std::cout);
+  std::cout << "\nB time log-slope: "
+            << Table::Num(FitLogSlope(ns, b_times))
+            << " time-units per doubling (flat slope = logarithmic)\n";
+  return 0;
+}

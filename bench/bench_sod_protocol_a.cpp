@@ -1,0 +1,139 @@
+// E3 + E4 — protocols A and A′ (paper §3).
+//   A:  O(N + N²/k²) messages; Θ(N) time under the staggered wakeup chain.
+//   A′: awaken wave ⇒ O(k + N/k) time, O(√N) at k = √N, still O(N) msgs.
+// Three series: (1) message sweep over k showing the N²/k² term,
+// (2) the staggered pathology on A, (3) the same pathology on A′.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/sod/protocol_a.h"
+#include "celect/proto/sod/protocol_a_prime.h"
+#include "celect/sim/runtime.h"
+#include "celect/util/stats.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+  using proto::sod::MakeProtocolA;
+  using proto::sod::MakeProtocolAPrime;
+  using proto::sod::ProtocolAParams;
+
+  harness::PrintBanner(
+      std::cout, "E3a (protocol A, message sweep over k)",
+      "Messages follow O(N + N^2/k^2): small k pays a quadratic elect "
+      "round, k >= sqrt(N) is linear. N = 1024.");
+  {
+    const std::uint32_t n = 1024;
+    Table t({"k", "messages", "msgs/N", "N^2/k^2 term", "time"});
+    for (std::uint32_t k : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+      ProtocolAParams p;
+      p.k = k;
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      auto r = harness::RunElection(MakeProtocolA(p), o);
+      double quad = static_cast<double>(n) * n / (double(k) * k);
+      t.AddRow({Table::Int(k), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / double(n)),
+                Table::Num(quad, 0),
+                Table::Num(r.leader_time.ToDouble())});
+    }
+    t.Print(std::cout);
+  }
+
+  harness::PrintBanner(
+      std::cout, "E3c (protocol A, plantation wakeup: worst-case elect "
+                 "round)",
+      "Only the nodes at ring positions 0, k+1, 2(k+1), ... wake: each "
+      "candidate's segment i[1..k] is entirely passive, so every one of "
+      "the ~N/k candidates survives phase one and the strided elect round "
+      "costs Θ(N²/k²) messages — the term the k ≥ √N choice suppresses. "
+      "N = 1024.");
+  {
+    const std::uint32_t n = 1024;
+    harness::Table t({"k", "phase2 candidates", "messages", "msgs/N",
+                      "N^2/k^2 term"});
+    for (std::uint32_t k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      ProtocolAParams p;
+      p.k = k;
+      sim::NetworkConfig config;
+      config.n = n;
+      config.mapper = sim::MakeSodMapper(n);
+      config.delays = sim::MakeUnitDelay();
+      config.wakeup = sim::WakeEveryKth(n, k + 1);
+      sim::Runtime rt(std::move(config), MakeProtocolA(p));
+      auto r = rt.Run();
+      double quad = static_cast<double>(n) * n / (double(k) * k);
+      std::int64_t cands =
+          r.counters.count(proto::sod::kCounterPhase2)
+              ? r.counters.at(proto::sod::kCounterPhase2)
+              : 0;
+      t.AddRow({Table::Int(k),
+                Table::Int(static_cast<std::uint64_t>(cands)),
+                Table::Int(r.total_messages),
+                Table::Num(r.total_messages / double(n)),
+                Table::Num(quad, 0)});
+    }
+    t.Print(std::cout);
+    std::cout << "\n(messages track N + N^2/k^2: the quadratic term "
+                 "dominates for k << sqrt(N) = 32)\n";
+  }
+
+  harness::PrintBanner(
+      std::cout, "E3b (protocol A, staggered wakeup chain)",
+      "Each node wakes 0.9 units after its predecessor: only the last "
+      "node survives, so election time is Θ(N).");
+  std::vector<double> ns, a_times;
+  {
+    Table t({"N", "time", "time/N", "messages"});
+    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      o.wakeup = harness::WakeupKind::kStaggeredChain;
+      o.stagger_spacing = 0.9;
+      auto r = harness::RunElection(MakeProtocolA({}), o);
+      ns.push_back(n);
+      a_times.push_back(r.leader_time.ToDouble());
+      t.AddRow({Table::Int(n), Table::Num(r.leader_time.ToDouble()),
+                Table::Num(r.leader_time.ToDouble() / n, 3),
+                Table::Int(r.total_messages)});
+    }
+    t.Print(std::cout);
+    auto fit = FitPowerLaw(ns, a_times);
+    std::cout << "\nA time growth under the chain: N^"
+              << Table::Num(fit.alpha) << " (paper: linear)\n";
+  }
+
+  harness::PrintBanner(
+      std::cout, "E4 (protocol A', same chain)",
+      "The awaken wave caps time at O(k + N/k) = O(sqrt N); messages stay "
+      "O(N).");
+  {
+    Table t({"N", "time", "time/sqrt(N)", "messages", "msgs/N"});
+    std::vector<double> ap_times;
+    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      o.wakeup = harness::WakeupKind::kStaggeredChain;
+      o.stagger_spacing = 0.9;
+      auto r = harness::RunElection(MakeProtocolAPrime(), o);
+      double sq = std::sqrt(static_cast<double>(n));
+      ap_times.push_back(r.leader_time.ToDouble());
+      t.AddRow({Table::Int(n), Table::Num(r.leader_time.ToDouble()),
+                Table::Num(r.leader_time.ToDouble() / sq),
+                Table::Int(r.total_messages),
+                Table::Num(r.total_messages / double(n))});
+    }
+    t.Print(std::cout);
+    auto fit = FitPowerLaw(ns, ap_times);
+    std::cout << "\nA' time growth under the chain: N^"
+              << Table::Num(fit.alpha)
+              << " (paper: 0.5 — the sqrt-N bound)\n";
+  }
+  return 0;
+}

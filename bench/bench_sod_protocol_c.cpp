@@ -1,0 +1,81 @@
+// E6 — protocol C, the paper's headline sense-of-direction result:
+// O(N) messages AND O(log N) time simultaneously. Sweeps N and compares
+// against LMW86 (message-optimal, slow) and B (fast, message-heavy):
+// C should track LMW86's message line and B's time line.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/sod/lmw86.h"
+#include "celect/proto/sod/protocol_b.h"
+#include "celect/proto/sod/protocol_c.h"
+#include "celect/util/stats.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(
+      std::cout, "E6 (protocol C)",
+      "C = stride walk (candidates -> N/logN) + doubling: O(N) messages "
+      "and O(log N) time. Columns compare C, LMW86 and B per N.");
+
+  Table t({"N", "C msgs", "C msgs/N", "C time", "C time/logN",
+           "LMW86 msgs", "LMW86 time", "B msgs", "B time"});
+  std::vector<double> ns, c_msgs, c_times;
+  for (std::uint32_t n = 32; n <= 4096; n *= 2) {
+    RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    auto rc = harness::RunElection(proto::sod::MakeProtocolC(), o);
+    auto rl = harness::RunElection(proto::sod::MakeLmw86(), o);
+    auto rb = harness::RunElection(proto::sod::MakeProtocolB(), o);
+    double log_n = std::log2(static_cast<double>(n));
+    ns.push_back(n);
+    c_msgs.push_back(static_cast<double>(rc.total_messages));
+    c_times.push_back(rc.leader_time.ToDouble());
+    t.AddRow({Table::Int(n), Table::Int(rc.total_messages),
+              Table::Num(rc.total_messages / double(n)),
+              Table::Num(rc.leader_time.ToDouble()),
+              Table::Num(rc.leader_time.ToDouble() / log_n),
+              Table::Int(rl.total_messages),
+              Table::Num(rl.leader_time.ToDouble()),
+              Table::Int(rb.total_messages),
+              Table::Num(rb.leader_time.ToDouble())});
+  }
+  t.Print(std::cout);
+
+  auto msg_fit = FitPowerLaw(ns, c_msgs);
+  std::cout << "\nC message growth: N^" << Table::Num(msg_fit.alpha)
+            << " (paper: 1.0)\n";
+  std::cout << "C time per doubling of N: "
+            << Table::Num(FitLogSlope(ns, c_times))
+            << " units (bounded slope = logarithmic time)\n";
+
+  harness::PrintBanner(
+      std::cout, "E6b (protocol C, adversarial wakeups)",
+      "C's bounds hold regardless of wakeup pattern: staggered chain and "
+      "single-base runs at N = 1024.");
+  Table t2({"wakeup", "messages", "time"});
+  for (auto wakeup : {harness::WakeupKind::kAllAtZero,
+                      harness::WakeupKind::kStaggeredChain,
+                      harness::WakeupKind::kSingle}) {
+    RunOptions o;
+    o.n = 1024;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    o.wakeup = wakeup;
+    o.stagger_spacing = 0.9;
+    auto r = harness::RunElection(proto::sod::MakeProtocolC(), o);
+    const char* name = wakeup == harness::WakeupKind::kAllAtZero
+                           ? "all-at-zero"
+                           : (wakeup == harness::WakeupKind::kSingle
+                                  ? "single"
+                                  : "staggered 0.9");
+    t2.AddRow({name, Table::Int(r.total_messages),
+               Table::Num(r.leader_time.ToDouble())});
+  }
+  t2.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E13 — the synchrony gap (paper §5/§6). Synchronous complete networks
+// elect in Θ(log N) rounds at O(N log N) messages (AG85); the paper
+// proves message-optimal *asynchronous* protocols need Ω(N/log N) time
+// — a loss factor of N/(log N)². We measure both sides.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/ag85_sync.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "celect/sim/network.h"
+#include "celect/sim/sync_runtime.h"
+
+int main() {
+  using namespace celect;
+  using harness::Table;
+
+  harness::PrintBanner(
+      std::cout, "E13 (synchronous vs asynchronous, message-optimal)",
+      "sync = AG85 doubling rounds; async = protocol G at k = log N "
+      "under worst-case delays. gap = async_time / sync_rounds; theory "
+      "predicts it grows like N/(log N)^2.");
+
+  Table t({"N", "sync rounds", "sync msgs", "async time", "async msgs",
+           "gap", "N/(logN)^2"});
+  for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+    sim::SyncRuntime sync_rt(n, sim::IdentitiesAscending(n),
+                             sim::MakeRandomMapper(n, n),
+                             proto::nosod::MakeAg85Sync());
+    auto sync = sync_rt.Run();
+
+    harness::RunOptions o;
+    o.n = n;
+    auto async = harness::RunElection(
+        proto::nosod::MakeProtocolG(proto::nosod::MessageOptimalK(n)), o);
+
+    double log_n = std::log2(static_cast<double>(n));
+    double gap = async.leader_time.ToDouble() / sync.rounds;
+    t.AddRow({Table::Int(n), Table::Int(sync.rounds),
+              Table::Int(sync.total_messages),
+              Table::Num(async.leader_time.ToDouble()),
+              Table::Int(async.total_messages), Table::Num(gap),
+              Table::Num(n / (log_n * log_n))});
+  }
+  t.Print(std::cout);
+  std::cout << "\nThe gap column should track the N/(logN)^2 column's "
+               "growth (constant factors differ).\n";
+  return 0;
+}

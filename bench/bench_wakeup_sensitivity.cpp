@@ -1,0 +1,60 @@
+// E15 — wakeup-count sensitivity (paper §4, end): using the AG85
+// capturing pattern the paper improves G's time to
+// O(log N + min(r, N/log N)) where r is the number of base nodes. We
+// measure G's time as the base-node count r grows: time should rise
+// with r and saturate near N/log N.
+#include <cmath>
+#include <iostream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/protocol_g.h"
+
+int main() {
+  using namespace celect;
+  using harness::RunOptions;
+  using harness::Table;
+
+  harness::PrintBanner(
+      std::cout, "E15 (time vs number of base nodes, N = 512)",
+      "G at k = log N; r base nodes wake within one time unit. Paper's "
+      "refined bound: O(log N + min(r, N/log N)).");
+
+  const std::uint32_t n = 512;
+  const std::uint32_t k = proto::nosod::MessageOptimalK(n);
+  Table t({"r (base nodes)", "G time", "G msgs", "G2 time", "G2 msgs",
+           "min(r, N/logN)"});
+  double cap = n / std::log2(static_cast<double>(n));
+  for (std::uint32_t r : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u,
+                          512u}) {
+    double g_time = 0, g_msgs = 0, g2_time = 0, g2_msgs = 0;
+    const int kSeeds = 5;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      RunOptions o;
+      o.n = n;
+      o.seed = static_cast<std::uint64_t>(seed) * 37 + r;
+      o.wakeup = harness::WakeupKind::kRandomSubset;
+      o.wakeup_count = r;
+      o.wakeup_window = 1.0;
+      auto g = harness::RunElection(proto::nosod::MakeProtocolG(k), o);
+      auto g2 =
+          harness::RunElection(proto::nosod::MakeProtocolGDoubling(k), o);
+      g_time += g.leader_time.ToDouble();
+      g_msgs += static_cast<double>(g.total_messages);
+      g2_time += g2.leader_time.ToDouble();
+      g2_msgs += static_cast<double>(g2.total_messages);
+    }
+    t.AddRow({Table::Int(r), Table::Num(g_time / kSeeds),
+              Table::Num(g_msgs / kSeeds, 0),
+              Table::Num(g2_time / kSeeds),
+              Table::Num(g2_msgs / kSeeds, 0),
+              Table::Num(std::min<double>(r, cap))});
+  }
+  t.Print(std::cout);
+  std::cout << "\nG's time carries a ~N/k floor (the sequential walk); "
+               "the [Si92] doubling variant G2 tracks\n"
+               "O(log N + min(r, N/log N)) and grows only with min(r, "
+               "N/logN), saturating past N/logN = "
+            << Table::Num(cap) << ".\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Adversary walkthrough: the two constructions that drive the paper's
+// time bounds, side by side.
+//
+//  1. §3's staggered wakeup chain: protocol A degrades to Θ(N) time
+//     while A′'s awaken wave holds at O(√N).
+//  2. §5's lower-bound adversary (Up-first lazy port binding + unit
+//     delays): the message-optimal protocol G cannot beat the N/16d
+//     floor.
+//
+//   ./adversary_demo [--n=256]
+#include <iostream>
+
+#include "celect/adversary/lower_bound.h"
+#include "celect/harness/experiment.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "celect/proto/sod/protocol_a.h"
+#include "celect/proto/sod/protocol_a_prime.h"
+#include "celect/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace celect;
+  Flags flags(argc, argv);
+  std::uint32_t n =
+      static_cast<std::uint32_t>(flags.GetInt("n", 256, "network size"));
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+
+  std::cout << "1) The §3 staggered wakeup chain (N=" << n << ")\n"
+            << "   Node at ring position p wakes at 0.9p; identities "
+               "ascend along the ring,\n"
+            << "   so every capture by a smaller identity is contested "
+               "away.\n\n";
+  {
+    harness::RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    o.wakeup = harness::WakeupKind::kStaggeredChain;
+    o.stagger_spacing = 0.9;
+    auto ra = harness::RunElection(proto::sod::MakeProtocolA({}), o);
+    auto rp = harness::RunElection(proto::sod::MakeProtocolAPrime(), o);
+    std::cout << "   protocol A : time = " << ra.leader_time.ToDouble()
+              << "  (Θ(N): the last waker wins)\n";
+    std::cout << "   protocol A′: time = " << rp.leader_time.ToDouble()
+              << "  (O(√N): awaken wave bars late candidates)\n\n";
+  }
+
+  std::cout << "2) The §5 lower-bound adversary (Theorem 5.1)\n"
+            << "   Fresh edges bind to Up_i = {i+1..i+k} first; any "
+               "protocol within an Nd\n"
+            << "   message budget stays local and needs ≥ N/16d time.\n\n";
+  {
+    std::uint32_t d = proto::nosod::MessageOptimalK(n);
+    auto r = adversary::RunLowerBoundExperiment(
+        proto::nosod::MakeProtocolG(d), n, /*k=*/2 * d);
+    std::cout << "   " << adversary::ToString(r) << "\n";
+    std::cout << "   achieved/floor = "
+              << r.elapsed_time / r.theoretical_floor
+              << "x above the theoretical minimum\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "celect/adversary/lower_bound.h"
+
+#include <sstream>
+
+#include "celect/adversary/adaptive_adversary.h"
+#include "celect/sim/delay_model.h"
+#include "celect/sim/network.h"
+#include "celect/sim/wakeup_policy.h"
+#include "celect/util/check.h"
+
+namespace celect::adversary {
+
+double TheoremFloor(std::uint32_t n, double d) {
+  CELECT_CHECK(d > 0);
+  return static_cast<double>(n) / (16.0 * d);
+}
+
+LowerBoundResult RunLowerBoundExperiment(const sim::ProcessFactory& factory,
+                                         std::uint32_t n, std::uint32_t k) {
+  CELECT_CHECK(n >= 4 && k >= 1);
+  auto mapper = MakeUpFirstMapper(n, k);
+  AdaptiveAdversaryMapper* mapper_view = mapper.get();
+
+  sim::NetworkConfig config;
+  config.n = n;
+  config.identities = sim::IdentitiesAscending(n);
+  config.mapper = std::move(mapper);
+  config.delays = sim::MakeUnitDelay();
+  config.wakeup = sim::WakeAllAtZero(n);
+
+  sim::Runtime runtime(std::move(config), factory);
+  sim::RunResult run = runtime.Run();
+
+  LowerBoundResult r;
+  r.n = n;
+  r.k = k;
+  r.messages = run.total_messages;
+  r.message_budget = static_cast<double>(n) * k / 2.0;
+  r.elapsed_time = run.leader_time.ToDouble();
+  r.theoretical_floor = TheoremFloor(n, k / 2.0);
+  r.max_bound_distance = mapper_view->MaxBoundDistance();
+  double degree_sum = 0;
+  for (sim::NodeId i = 0; i < n; ++i) {
+    degree_sum += mapper_view->BoundDegree(i);
+  }
+  r.mean_degree = degree_sum / n;
+  r.leader_elected = run.leader_declarations == 1;
+  return r;
+}
+
+std::string ToString(const LowerBoundResult& r) {
+  std::ostringstream os;
+  os << "N=" << r.n << " k=" << r.k << " messages=" << r.messages
+     << " (budget Nd=" << r.message_budget << ")"
+     << " time=" << r.elapsed_time << " (floor N/16d="
+     << r.theoretical_floor << ")"
+     << " mean_degree=" << r.mean_degree
+     << " max_distance=" << r.max_bound_distance
+     << (r.leader_elected ? "" : " [NO LEADER]");
+  return os.str();
+}
+
+}  // namespace celect::adversary

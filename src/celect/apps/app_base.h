@@ -1,0 +1,103 @@
+// Composition of an application protocol over an election protocol.
+//
+// The paper (§1, §6) notes spanning-tree construction, global-function
+// computation, etc. are message/time-equivalent to leader election. Each
+// app here wraps an arbitrary election Process: protocol messages (type
+// < kAppTypeBase) are passed through to the inner process; the wrapper
+// observes the inner DeclareLeader through an intercepting Context and
+// then runs its own O(N)-message, O(1)-time follow-up round using types
+// >= kAppTypeBase.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "celect/sim/process.h"
+#include "celect/util/check.h"
+
+namespace celect::apps {
+
+// App message types live above this to stay disjoint from any election
+// protocol's types.
+inline constexpr std::uint16_t kAppTypeBase = 1000;
+
+class ElectionAppProcess : public sim::Process {
+ public:
+  ElectionAppProcess(std::unique_ptr<sim::Process> inner)
+      : inner_(std::move(inner)) {
+    CELECT_CHECK(inner_ != nullptr);
+  }
+
+  void OnWakeup(sim::Context& ctx) final {
+    InterceptingContext ictx(*this, ctx);
+    inner_->OnWakeup(ictx);
+  }
+
+  void OnMessage(sim::Context& ctx, sim::Port from_port,
+                 const wire::Packet& p) final {
+    if (p.type >= kAppTypeBase) {
+      OnAppMessage(ctx, from_port, p);
+      return;
+    }
+    InterceptingContext ictx(*this, ctx);
+    inner_->OnMessage(ictx, from_port, p);
+  }
+
+  bool leader_here() const { return leader_here_; }
+
+ protected:
+  // Called exactly when the inner protocol declares this node leader;
+  // the app starts its follow-up round here. The leader declaration is
+  // already forwarded to the runtime.
+  virtual void OnElected(sim::Context& ctx) = 0;
+
+  // App-typed traffic (type >= kAppTypeBase).
+  virtual void OnAppMessage(sim::Context& ctx, sim::Port from_port,
+                            const wire::Packet& p) = 0;
+
+ private:
+  // Delegates everything to the real context but lets the wrapper see
+  // DeclareLeader.
+  class InterceptingContext : public sim::Context {
+   public:
+    InterceptingContext(ElectionAppProcess& app, sim::Context& real)
+        : app_(app), real_(real) {}
+
+    sim::NodeId address() const override { return real_.address(); }
+    sim::Id id() const override { return real_.id(); }
+    std::uint32_t n() const override { return real_.n(); }
+    sim::Time now() const override { return real_.now(); }
+    bool has_sense_of_direction() const override {
+      return real_.has_sense_of_direction();
+    }
+    void Send(sim::Port port, wire::Packet p) override {
+      real_.Send(port, std::move(p));
+    }
+    std::optional<sim::Port> SendFresh(wire::Packet p) override {
+      return real_.SendFresh(std::move(p));
+    }
+    void SendAll(wire::Packet p) override { real_.SendAll(std::move(p)); }
+    void DeclareLeader() override {
+      real_.DeclareLeader();
+      if (!app_.leader_here_) {
+        app_.leader_here_ = true;
+        app_.OnElected(real_);
+      }
+    }
+    void AddCounter(std::string_view name, std::int64_t delta) override {
+      real_.AddCounter(name, delta);
+    }
+    void MaxCounter(std::string_view name, std::int64_t value) override {
+      real_.MaxCounter(name, value);
+    }
+
+   private:
+    ElectionAppProcess& app_;
+    sim::Context& real_;
+  };
+
+  std::unique_ptr<sim::Process> inner_;
+  bool leader_here_ = false;
+};
+
+}  // namespace celect::apps

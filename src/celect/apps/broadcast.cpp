@@ -1,0 +1,46 @@
+#include "celect/apps/broadcast.h"
+
+#include <memory>
+
+#include "celect/util/check.h"
+
+namespace celect::apps {
+
+using sim::Context;
+using sim::Port;
+using wire::Packet;
+
+void BroadcastProcess::OnElected(Context& ctx) {
+  delivered_ = my_value_;
+  ctx.SendAll(Packet{kBcastValue, {my_value_}});
+}
+
+void BroadcastProcess::OnAppMessage(Context& ctx, Port from_port,
+                                    const Packet& p) {
+  switch (p.type) {
+    case kBcastValue:
+      if (!delivered_) {
+        delivered_ = p.field(0);
+        ctx.Send(from_port, Packet{kBcastAck, {}});
+      }
+      break;
+    case kBcastAck:
+      if (++acks_ == ctx.n() - 1) feedback_complete_ = true;
+      break;
+    default:
+      CELECT_CHECK(false) << "broadcast: unknown type " << p.type;
+  }
+}
+
+sim::ProcessFactory MakeBroadcast(
+    sim::ProcessFactory election,
+    std::function<std::int64_t(sim::NodeId)> value_of) {
+  return [election = std::move(election),
+          value_of = std::move(value_of)](const sim::ProcessInit& init)
+             -> std::unique_ptr<sim::Process> {
+    return std::make_unique<BroadcastProcess>(election(init),
+                                              value_of(init.address));
+  };
+}
+
+}  // namespace celect::apps

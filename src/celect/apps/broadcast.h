@@ -1,0 +1,48 @@
+// Leader-sourced broadcast with feedback (PIF) on top of election.
+//
+// The elected leader disseminates a value to all nodes and learns when
+// everyone has it — the primitive behind "computing a global function"
+// style applications. O(N) extra messages, O(1) extra time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "celect/apps/app_base.h"
+#include "celect/sim/process.h"
+
+namespace celect::apps {
+
+enum BroadcastMsg : std::uint16_t {
+  kBcastValue = kAppTypeBase + 10,  // fields: {value}
+  kBcastAck = kAppTypeBase + 11,    // fields: {}
+};
+
+class BroadcastProcess : public ElectionAppProcess {
+ public:
+  BroadcastProcess(std::unique_ptr<sim::Process> inner, std::int64_t value)
+      : ElectionAppProcess(std::move(inner)), my_value_(value) {}
+
+  // The delivered value (the leader's), once received.
+  std::optional<std::int64_t> delivered() const { return delivered_; }
+  // Leader only: true once all N-1 acks are in.
+  bool feedback_complete() const { return feedback_complete_; }
+
+ protected:
+  void OnElected(sim::Context& ctx) override;
+  void OnAppMessage(sim::Context& ctx, sim::Port from_port,
+                    const wire::Packet& p) override;
+
+ private:
+  std::int64_t my_value_;
+  std::optional<std::int64_t> delivered_;
+  std::uint32_t acks_ = 0;
+  bool feedback_complete_ = false;
+};
+
+// value_of(address) supplies each node's value to broadcast when it wins.
+sim::ProcessFactory MakeBroadcast(
+    sim::ProcessFactory election,
+    std::function<std::int64_t(sim::NodeId)> value_of);
+
+}  // namespace celect::apps

@@ -1,0 +1,63 @@
+#include "celect/apps/global_function.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "celect/util/check.h"
+
+namespace celect::apps {
+
+using sim::Context;
+using sim::Port;
+using wire::Packet;
+
+void GlobalFunctionProcess::OnElected(Context& ctx) {
+  accumulator_ = input_;
+  if (ctx.n() == 1) {
+    result_ = accumulator_;
+    return;
+  }
+  ctx.SendAll(Packet{kFnQuery, {}});
+}
+
+void GlobalFunctionProcess::OnAppMessage(Context& ctx, Port from_port,
+                                         const Packet& p) {
+  switch (p.type) {
+    case kFnQuery:
+      ctx.Send(from_port, Packet{kFnReport, {input_}});
+      break;
+    case kFnReport:
+      accumulator_ = reduce_(accumulator_, p.field(0));
+      if (++reports_ == ctx.n() - 1) {
+        result_ = accumulator_;
+        ctx.SendAll(Packet{kFnResult, {accumulator_}});
+      }
+      break;
+    case kFnResult:
+      result_ = p.field(0);
+      break;
+    default:
+      CELECT_CHECK(false) << "global function: unknown type " << p.type;
+  }
+}
+
+sim::ProcessFactory MakeGlobalFunction(
+    sim::ProcessFactory election,
+    std::function<std::int64_t(sim::NodeId)> input_of, Reducer reduce) {
+  return [election = std::move(election), input_of = std::move(input_of),
+          reduce = std::move(reduce)](const sim::ProcessInit& init)
+             -> std::unique_ptr<sim::Process> {
+    return std::make_unique<GlobalFunctionProcess>(
+        election(init), input_of(init.address), reduce);
+  };
+}
+
+Reducer MaxReducer() {
+  return [](std::int64_t a, std::int64_t b) { return std::max(a, b); };
+}
+
+Reducer SumReducer() {
+  return [](std::int64_t a, std::int64_t b) { return a + b; };
+}
+
+}  // namespace celect::apps

@@ -1,0 +1,59 @@
+// Global-function computation on top of election (paper §1: "computing a
+// global function ... equivalent to leader election in terms of message
+// and time complexities").
+//
+// The elected leader queries all nodes, folds their replies with a
+// commutative-associative reduction (max, sum, ...), then disseminates
+// the result. O(N) extra messages and O(1) extra time beyond election.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "celect/apps/app_base.h"
+#include "celect/sim/process.h"
+
+namespace celect::apps {
+
+enum GlobalFnMsg : std::uint16_t {
+  kFnQuery = kAppTypeBase + 20,   // fields: {}
+  kFnReport = kAppTypeBase + 21,  // fields: {value}
+  kFnResult = kAppTypeBase + 22,  // fields: {value}
+};
+
+using Reducer = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+
+class GlobalFunctionProcess : public ElectionAppProcess {
+ public:
+  GlobalFunctionProcess(std::unique_ptr<sim::Process> inner,
+                        std::int64_t input, Reducer reduce)
+      : ElectionAppProcess(std::move(inner)),
+        input_(input),
+        reduce_(std::move(reduce)) {}
+
+  // The global result, once disseminated to this node.
+  std::optional<std::int64_t> result() const { return result_; }
+
+ protected:
+  void OnElected(sim::Context& ctx) override;
+  void OnAppMessage(sim::Context& ctx, sim::Port from_port,
+                    const wire::Packet& p) override;
+
+ private:
+  std::int64_t input_;
+  Reducer reduce_;
+  std::int64_t accumulator_ = 0;
+  std::uint32_t reports_ = 0;
+  std::optional<std::int64_t> result_;
+};
+
+sim::ProcessFactory MakeGlobalFunction(
+    sim::ProcessFactory election,
+    std::function<std::int64_t(sim::NodeId)> input_of, Reducer reduce);
+
+// Common reducers.
+Reducer MaxReducer();
+Reducer SumReducer();
+
+}  // namespace celect::apps

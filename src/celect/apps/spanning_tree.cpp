@@ -1,0 +1,44 @@
+#include "celect/apps/spanning_tree.h"
+
+#include <memory>
+
+#include "celect/util/check.h"
+
+namespace celect::apps {
+
+using sim::Context;
+using sim::Port;
+using wire::Packet;
+
+void SpanningTreeProcess::OnElected(Context& ctx) {
+  root_id_ = ctx.id();
+  ctx.SendAll(Packet{kTreeInvite, {ctx.id()}});
+}
+
+void SpanningTreeProcess::OnAppMessage(Context& ctx, Port from_port,
+                                       const Packet& p) {
+  switch (p.type) {
+    case kTreeInvite:
+      if (!parent_port_ && !is_root()) {
+        parent_port_ = from_port;
+        root_id_ = p.field(0);
+        ctx.Send(from_port, Packet{kTreeJoin, {}});
+      }
+      break;
+    case kTreeJoin:
+      ++children_;
+      break;
+    default:
+      CELECT_CHECK(false) << "spanning tree: unknown type " << p.type;
+  }
+}
+
+sim::ProcessFactory MakeSpanningTree(sim::ProcessFactory election) {
+  return [election =
+              std::move(election)](const sim::ProcessInit& init)
+             -> std::unique_ptr<sim::Process> {
+    return std::make_unique<SpanningTreeProcess>(election(init));
+  };
+}
+
+}  // namespace celect::apps

@@ -1,0 +1,52 @@
+// Spanning-tree construction on top of leader election (paper §1/§6:
+// equivalent to election in message and time complexity).
+//
+// After the wrapped election elects a root, the root invites every node
+// over its N-1 edges; each node adopts the arrival edge of the first
+// invite as its parent link and joins. In a complete network the
+// resulting star is a spanning tree, built with O(N) extra messages and
+// O(1) extra time, so the whole construction inherits the election's
+// complexity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "celect/apps/app_base.h"
+#include "celect/sim/process.h"
+
+namespace celect::apps {
+
+enum SpanningTreeMsg : std::uint16_t {
+  kTreeInvite = kAppTypeBase + 0,  // fields: {root_id}
+  kTreeJoin = kAppTypeBase + 1,    // fields: {}
+};
+
+class SpanningTreeProcess : public ElectionAppProcess {
+ public:
+  explicit SpanningTreeProcess(std::unique_ptr<sim::Process> inner)
+      : ElectionAppProcess(std::move(inner)) {}
+
+  bool is_root() const { return leader_here(); }
+  // Parent edge (port at this node); nullopt for the root and for nodes
+  // not yet joined.
+  std::optional<sim::Port> parent_port() const { return parent_port_; }
+  std::optional<sim::Id> root_id() const { return root_id_; }
+  // Root only: number of joined children (tree complete at N-1).
+  std::uint32_t children() const { return children_; }
+
+ protected:
+  void OnElected(sim::Context& ctx) override;
+  void OnAppMessage(sim::Context& ctx, sim::Port from_port,
+                    const wire::Packet& p) override;
+
+ private:
+  std::optional<sim::Port> parent_port_;
+  std::optional<sim::Id> root_id_;
+  std::uint32_t children_ = 0;
+};
+
+// Wraps an election factory into a spanning-tree factory.
+sim::ProcessFactory MakeSpanningTree(sim::ProcessFactory election);
+
+}  // namespace celect::apps

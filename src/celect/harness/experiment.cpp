@@ -1,0 +1,195 @@
+#include "celect/harness/experiment.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "celect/adversary/adaptive_adversary.h"
+#include "celect/sim/network.h"
+#include "celect/util/check.h"
+#include "celect/util/rng.h"
+
+namespace celect::harness {
+
+using sim::NetworkConfig;
+using sim::Time;
+
+sim::NetworkConfig BuildNetwork(const RunOptions& options) {
+  CELECT_CHECK(options.n >= 2);
+  Rng rng(options.seed);
+
+  NetworkConfig config;
+  config.n = options.n;
+
+  switch (options.identity) {
+    case IdentityKind::kAscending:
+      config.identities = sim::IdentitiesAscending(options.n);
+      break;
+    case IdentityKind::kRandomPermutation: {
+      Rng id_rng = rng.Split(1);
+      config.identities = sim::IdentitiesRandom(options.n, id_rng);
+      break;
+    }
+    case IdentityKind::kSparse: {
+      Rng id_rng = rng.Split(2);
+      config.identities = sim::IdentitiesSparse(options.n, id_rng);
+      break;
+    }
+  }
+
+  switch (options.mapper) {
+    case MapperKind::kSenseOfDirection:
+      config.mapper = sim::MakeSodMapper(options.n);
+      break;
+    case MapperKind::kRandom:
+      config.mapper = sim::MakeRandomMapper(options.n,
+                                            rng.Split(3).Next());
+      break;
+    case MapperKind::kUpAdversary:
+      config.mapper =
+          adversary::MakeUpFirstMapper(options.n, options.adversary_k);
+      break;
+  }
+
+  switch (options.delay) {
+    case DelayKind::kUnit:
+      config.delays = sim::MakeUnitDelay();
+      break;
+    case DelayKind::kRandom:
+      config.delays = sim::MakeRandomDelay(rng.Split(4).Next());
+      break;
+    case DelayKind::kEager:
+      config.delays = sim::MakeEagerDelay();
+      break;
+  }
+
+  // Initial failures: a random subset, never including address 0 when it
+  // must be a base node (plans below always keep at least one live base).
+  std::unordered_set<sim::NodeId> failed;
+  if (options.failures > 0) {
+    CELECT_CHECK(options.failures < options.n);
+    Rng fail_rng = rng.Split(5);
+    auto perm = fail_rng.Permutation(options.n);
+    config.failed.assign(options.n, false);
+    for (std::uint32_t i = 0; i < options.failures; ++i) {
+      // Skip address 0 so single-base plans stay valid.
+      sim::NodeId victim = perm[i] == 0 ? perm[options.failures] : perm[i];
+      config.failed[victim] = true;
+      failed.insert(victim);
+    }
+  }
+
+  auto alive = [&failed](sim::NodeId node) { return !failed.count(node); };
+
+  switch (options.wakeup) {
+    case WakeupKind::kAllAtZero:
+      for (sim::NodeId i = 0; i < options.n; ++i) {
+        if (alive(i)) config.wakeup.wakeups.emplace_back(i, Time::Zero());
+      }
+      break;
+    case WakeupKind::kSingle:
+      CELECT_CHECK(alive(0));
+      config.wakeup.wakeups.emplace_back(0, Time::Zero());
+      break;
+    case WakeupKind::kRandomSubset: {
+      std::uint32_t count =
+          options.wakeup_count == 0 ? options.n / 2 : options.wakeup_count;
+      count = std::max<std::uint32_t>(count, 1);
+      Rng wake_rng = rng.Split(6);
+      auto perm = wake_rng.Permutation(options.n);
+      std::uint32_t added = 0;
+      for (sim::NodeId node : perm) {
+        if (!alive(node)) continue;
+        Time at = options.wakeup_window <= 0.0
+                      ? Time::Zero()
+                      : Time::FromDouble(options.wakeup_window *
+                                         wake_rng.NextDouble());
+        config.wakeup.wakeups.emplace_back(node, at);
+        if (++added == count) break;
+      }
+      CELECT_CHECK(added >= 1) << "no live base node available";
+      break;
+    }
+    case WakeupKind::kStaggeredChain:
+      for (sim::NodeId i = 0; i < options.n; ++i) {
+        if (!alive(i)) continue;
+        config.wakeup.wakeups.emplace_back(
+            i, Time::FromDouble(options.stagger_spacing * i));
+      }
+      break;
+  }
+
+  sim::ValidateConfig(config);
+  return config;
+}
+
+sim::RunResult RunElection(const sim::ProcessFactory& factory,
+                           const RunOptions& options) {
+  sim::RuntimeOptions rt;
+  rt.max_events = options.max_events;
+  rt.enable_trace = options.enable_trace;
+  rt.serialize_packets = options.serialize_packets;
+  sim::Runtime runtime(BuildNetwork(options), factory, rt);
+  return runtime.Run();
+}
+
+std::string Describe(const RunOptions& o) {
+  std::ostringstream os;
+  os << "N=" << o.n << " seed=" << o.seed << " mapper=";
+  switch (o.mapper) {
+    case MapperKind::kSenseOfDirection:
+      os << "sod";
+      break;
+    case MapperKind::kRandom:
+      os << "random";
+      break;
+    case MapperKind::kUpAdversary:
+      os << "adversary(k=" << o.adversary_k << ")";
+      break;
+  }
+  os << " delay=";
+  switch (o.delay) {
+    case DelayKind::kUnit:
+      os << "unit";
+      break;
+    case DelayKind::kRandom:
+      os << "random";
+      break;
+    case DelayKind::kEager:
+      os << "eager";
+      break;
+  }
+  os << " wakeup=";
+  switch (o.wakeup) {
+    case WakeupKind::kAllAtZero:
+      os << "all";
+      break;
+    case WakeupKind::kSingle:
+      os << "single";
+      break;
+    case WakeupKind::kRandomSubset:
+      os << "subset(" << o.wakeup_count << ")";
+      break;
+    case WakeupKind::kStaggeredChain:
+      os << "staggered(" << o.stagger_spacing << ")";
+      break;
+  }
+  if (o.failures) os << " failures=" << o.failures;
+  return os.str();
+}
+
+std::string Summarize(const sim::RunResult& r) {
+  std::ostringstream os;
+  os << "leader=";
+  if (r.leader_id) {
+    os << *r.leader_id;
+  } else {
+    os << "none";
+  }
+  os << " declarations=" << r.leader_declarations
+     << " messages=" << r.total_messages
+     << " time=" << r.leader_time.ToDouble()
+     << " quiesce=" << r.quiesce_time.ToDouble();
+  return os.str();
+}
+
+}  // namespace celect::harness

@@ -1,0 +1,139 @@
+#include "celect/harness/registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "celect/proto/chordal/coordinator.h"
+#include "celect/proto/nosod/fault_tolerant.h"
+#include "celect/proto/nosod/protocol_d.h"
+#include "celect/proto/nosod/protocol_e.h"
+#include "celect/proto/nosod/protocol_f.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "celect/proto/sod/lmw86.h"
+#include "celect/proto/sod/protocol_a.h"
+#include "celect/proto/sod/protocol_a_prime.h"
+#include "celect/proto/sod/protocol_b.h"
+#include "celect/proto/sod/protocol_c.h"
+
+namespace celect::harness {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<ProtocolSpec> BuildRegistry() {
+  using namespace celect::proto;
+  std::vector<ProtocolSpec> specs;
+
+  specs.push_back({"lmw86",
+                   "LMW86 majority capture (SoD): O(N) msgs, O(N) time",
+                   true, false, false,
+                   [](std::uint32_t) { return sod::MakeLmw86(); }});
+  specs.push_back(
+      {"A",
+       "two-phase capture (SoD): O(N) msgs, Θ(N) worst time; k≈√N",
+       true, false, true, [](std::uint32_t k) {
+         sod::ProtocolAParams p;
+         p.k = k;
+         return sod::MakeProtocolA(p);
+       }});
+  specs.push_back(
+      {"A'",
+       "A with awaken wave (SoD): O(N) msgs, O(k + N/k) = O(√N) time",
+       true, false, true,
+       [](std::uint32_t k) { return sod::MakeProtocolAPrime(k); }});
+  specs.push_back({"B",
+                   "async doubling (SoD): O(N log N) msgs, O(log N) time",
+                   true, true, false,
+                   [](std::uint32_t) { return sod::MakeProtocolB(); }});
+  specs.push_back({"C",
+                   "stride + doubling (SoD): O(N) msgs, O(log N) time",
+                   true, true, false,
+                   [](std::uint32_t) { return sod::MakeProtocolC(); }});
+  specs.push_back({"D", "flooding: O(N^2) msgs, O(1) time", false, false,
+                   false,
+                   [](std::uint32_t) { return nosod::MakeProtocolD(); }});
+  specs.push_back(
+      {"E", "AG85 walk with Ɛ throttle: O(N log N) msgs, O(N) time",
+       false, false, false,
+       [](std::uint32_t) { return nosod::MakeProtocolE(true); }});
+  specs.push_back(
+      {"E-raw", "AG85 walk without throttle (congestion pathology)",
+       false, false, false,
+       [](std::uint32_t) { return nosod::MakeProtocolE(false); }});
+  specs.push_back(
+      {"F", "Ɛ then broadcast: O(Nk) msgs, O(N/k) time (clustered wakeup)",
+       false, false, true, [](std::uint32_t k) {
+         return nosod::MakeProtocolF(k == 0 ? 4 : k);
+       }});
+  specs.push_back(
+      {"G",
+       "F with wakeup-ordering phases: O(Nk) msgs, O(N/k) time always",
+       false, false, true, [](std::uint32_t k) {
+         return [k](const sim::ProcessInit& init) {
+           std::uint32_t kk = k == 0 ? nosod::MessageOptimalK(init.n) : k;
+           return nosod::MakeProtocolG(kk)(init);
+         };
+       }});
+  specs.push_back(
+      {"G2",
+       "[Si92] G with doubling walk: O(Nk) msgs, "
+       "O(logN + min(r, N/logN)) time",
+       false, false, true, [](std::uint32_t k) {
+         return [k](const sim::ProcessInit& init) {
+           std::uint32_t kk = k == 0 ? nosod::MessageOptimalK(init.n) : k;
+           return nosod::MakeProtocolGDoubling(kk)(init);
+         };
+       }});
+  specs.push_back(
+      {"FT",
+       "fault-tolerant G, failure budget f=1 here (bench_fault_tolerance "
+       "sweeps f): O(Nf + N log N) msgs, O(N/log N) time",
+       false, false, false, [](std::uint32_t) {
+         return nosod::MakeFaultTolerant(/*f=*/1);
+       }});
+  specs.push_back(
+      {"chordal",
+       "[ALSZ89] coordinator on a power-of-two chordal ring: O(N) msgs, "
+       "O(log N) time with log N chords/node",
+       true, true, false, [](std::uint32_t) {
+         return chordal::MakeChordalCoordinator();
+       }});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ProtocolSpec>& AllProtocols() {
+  static const std::vector<ProtocolSpec> kRegistry = BuildRegistry();
+  return kRegistry;
+}
+
+std::optional<ProtocolSpec> FindProtocol(const std::string& name) {
+  std::string needle = Lower(name);
+  for (const auto& spec : AllProtocols()) {
+    if (Lower(spec.name) == needle) return spec;
+  }
+  // Friendly aliases.
+  if (needle == "aprime" || needle == "a-prime") return FindProtocol("A'");
+  if (needle == "eraw") return FindProtocol("E-raw");
+  return std::nullopt;
+}
+
+std::string ProtocolListing() {
+  std::ostringstream os;
+  for (const auto& spec : AllProtocols()) {
+    os << "  " << spec.name;
+    if (spec.takes_k) os << " (accepts --k)";
+    if (spec.needs_sense_of_direction) os << " [SoD]";
+    if (spec.needs_power_of_two) os << " [N=2^r]";
+    os << "\n      " << spec.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace celect::harness

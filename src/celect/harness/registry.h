@@ -1,0 +1,36 @@
+// Named protocol registry — one place that knows how to instantiate
+// every election protocol in the library, used by the example binaries
+// and benches ("--protocol=C", "--protocol=G --k=8", ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celect/sim/process.h"
+
+namespace celect::harness {
+
+struct ProtocolSpec {
+  std::string name;
+  std::string description;
+  bool needs_sense_of_direction = false;
+  bool needs_power_of_two = false;  // B and C assume N = 2^r
+  bool takes_k = false;
+  // Builds the factory; k is ignored unless takes_k (0 = protocol
+  // default).
+  std::function<sim::ProcessFactory(std::uint32_t k)> make;
+};
+
+// All registered protocols, in presentation order.
+const std::vector<ProtocolSpec>& AllProtocols();
+
+// Case-insensitive lookup by name ("lmw86", "A", "A'", "B", "C", "D",
+// "E", "E-raw", "F", "G", "FT").
+std::optional<ProtocolSpec> FindProtocol(const std::string& name);
+
+// Formatted list for --help output.
+std::string ProtocolListing();
+
+}  // namespace celect::harness

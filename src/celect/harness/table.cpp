@@ -1,0 +1,62 @@
+#include "celect/harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "celect/util/check.h"
+
+namespace celect::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CELECT_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CELECT_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Int(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 2 * headers_.size();
+  for (auto w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+void PrintBanner(std::ostream& os, const std::string& experiment_id,
+                 const std::string& claim) {
+  os << "\n=== " << experiment_id << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace celect::harness

@@ -1,0 +1,35 @@
+// Plain-text table printer for the bench binaries — every experiment
+// prints the series the paper's claims predict, one row per sweep point.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace celect::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell helpers; each AddRow must supply one value per column.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formatting helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(std::uint64_t v);
+
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by bench binaries.
+void PrintBanner(std::ostream& os, const std::string& experiment_id,
+                 const std::string& claim);
+
+}  // namespace celect::harness

@@ -1,0 +1,176 @@
+#include "celect/proto/chordal/coordinator.h"
+
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/topo/chordal_ring.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::chordal {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+class ChordalNode : public ElectionProcess {
+ public:
+  explicit ChordalNode(const sim::ProcessInit& init)
+      : position_(init.address), id_(init.id), ring_(init.n) {}
+
+  std::string DescribeState() const override {
+    std::string s = "pos=" + std::to_string(position_);
+    if (resolve_started_) {
+      s += " resolving pending=" + std::to_string(pending_);
+    }
+    if (reported_) s += " reported";
+    return s;
+  }
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    // Base node: wake the coordinator at position 0.
+    std::uint32_t dist = ring_.ForwardDistance(position_, 0);
+    if (dist == 0) {
+      StartCoordinator(ctx);
+    } else {
+      Route(ctx, kStart, /*payload=*/0, dist);
+    }
+  }
+
+  void OnPacket(Context& ctx, Port from_port, const Packet& p,
+                bool /*first_contact*/) override {
+    switch (p.type) {
+      case kStart:
+        HandleRouted(ctx, kStart, 0,
+                     static_cast<std::uint32_t>(p.field(0)));
+        break;
+      case kQuery:
+        HandleQuery(ctx, from_port,
+                    static_cast<std::uint32_t>(p.field(0)));
+        break;
+      case kReport:
+        HandleReport(ctx, p.field(0), p.field(1));
+        break;
+      case kAnnounce:
+        HandleRouted(ctx, kAnnounce, p.field(0),
+                     static_cast<std::uint32_t>(p.field(1)));
+        break;
+      default:
+        CELECT_CHECK(false) << "chordal: unknown message type " << p.type;
+    }
+  }
+
+ private:
+  // Sends a routed message `remaining` positions forward via the
+  // largest-chord-first decomposition. Only chord ports are used.
+  void Route(Context& ctx, std::uint16_t type, Id payload,
+             std::uint32_t remaining) {
+    CELECT_DCHECK(remaining >= 1);
+    std::uint32_t hop = ring_.FirstHop(remaining);
+    ctx.AddCounter(kCounterRoutingHops, 1);
+    if (type == kStart) {
+      ctx.Send(hop, Packet{kStart,
+                           {static_cast<std::int64_t>(remaining - hop)}});
+    } else {
+      ctx.Send(hop, Packet{kAnnounce,
+                           {payload,
+                            static_cast<std::int64_t>(remaining - hop)}});
+    }
+  }
+
+  void HandleRouted(Context& ctx, std::uint16_t type, Id payload,
+                    std::uint32_t remaining) {
+    if (remaining > 0) {
+      Route(ctx, type, payload, remaining);
+      return;
+    }
+    if (type == kStart) {
+      StartCoordinator(ctx);
+    } else {
+      // We are the elected node.
+      CELECT_CHECK(payload == id_)
+          << "announce for " << payload << " arrived at " << id_;
+      ctx.DeclareLeader();
+    }
+  }
+
+  // Resolve the block [position, position + 2^level): query the head of
+  // each sub-block in parallel. Every node is queried at most once
+  // globally, so no re-entrancy handling is needed.
+  void BeginResolve(Context& ctx, std::uint32_t level) {
+    CELECT_CHECK(!resolve_started_) << "node queried twice";
+    resolve_started_ = true;
+    pending_ = level;
+    best_id_ = is_base() ? id_ : -1;
+    best_pos_ = is_base() ? static_cast<std::int64_t>(position_) : -1;
+    for (std::uint32_t s = 0; s < level; ++s) {
+      ctx.Send(static_cast<Port>(1u << s),
+               Packet{kQuery, {static_cast<std::int64_t>(s)}});
+    }
+    if (pending_ == 0) Complete(ctx);
+  }
+
+  void HandleQuery(Context& ctx, Port from_port, std::uint32_t level) {
+    report_port_ = from_port;
+    is_root_ = false;
+    BeginResolve(ctx, level);
+  }
+
+  void HandleReport(Context& ctx, Id best_id, std::int64_t best_pos) {
+    CELECT_CHECK(pending_ > 0) << "unexpected report";
+    if (best_id > best_id_) {
+      best_id_ = best_id;
+      best_pos_ = best_pos;
+    }
+    if (--pending_ == 0) Complete(ctx);
+  }
+
+  void Complete(Context& ctx) {
+    if (!is_root_) {
+      reported_ = true;
+      ctx.Send(report_port_, Packet{kReport, {best_id_, best_pos_}});
+      return;
+    }
+    // Coordinator: announce the winner. A start is only sent by a base
+    // node, so at least one candidate exists.
+    CELECT_CHECK(best_id_ >= 0) << "no base node found by the sweep";
+    std::uint32_t target = static_cast<std::uint32_t>(best_pos_);
+    if (target == position_) {
+      ctx.DeclareLeader();
+      return;
+    }
+    Route(ctx, kAnnounce, best_id_,
+          ring_.ForwardDistance(position_, target));
+  }
+
+  void StartCoordinator(Context& ctx) {
+    if (resolve_started_) return;  // later starts lost the race
+    is_root_ = true;
+    BeginResolve(ctx, ring_.chords_per_node());
+  }
+
+  const std::uint32_t position_;
+  const Id id_;
+  topo::ChordalRing ring_;
+
+  bool resolve_started_ = false;
+  bool is_root_ = false;
+  bool reported_ = false;
+  Port report_port_ = sim::kInvalidPort;
+  std::uint32_t pending_ = 0;
+  Id best_id_ = -1;
+  std::int64_t best_pos_ = -1;
+};
+
+}  // namespace
+
+sim::ProcessFactory MakeChordalCoordinator() {
+  return [](const sim::ProcessInit& init) {
+    return std::make_unique<ChordalNode>(init);
+  };
+}
+
+}  // namespace celect::proto::chordal

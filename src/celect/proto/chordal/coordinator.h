@@ -1,0 +1,53 @@
+// Chordal-ring coordinator election — the [ALSZ89] data point from the
+// paper's introduction: O(log N) labelled chords per node suffice for
+// O(N)-message election, and with a binomial-tree sweep the time is
+// O(log N).
+//
+// Model: a position-labelled chordal ring (each node knows its ring
+// position and has the forward chords p → p + 2^s; positions give the
+// network a distinguished origin, position 0). This is a slightly
+// stronger assumption than sense of direction alone — documented in
+// DESIGN.md — and lets the election be driven by a deterministic
+// coordinator tree rather than a capture race:
+//
+//  1. A base node routes a `start` to position 0 over at most log N
+//     chord hops (binary decomposition of the distance).
+//  2. The origin — acting as coordinator, whether or not it is a base
+//     node — resolves the ring with the binomial-tree decomposition
+//     [0, N) = {0} ∪ [2^s, 2^(s+1)) for s = 0..log N−1: it queries the
+//     head of each block *in parallel* with `query(s)`, and each head
+//     recursively does the same for its block. Every node is queried
+//     exactly once (N−1 queries, N−1 reports), and the parallel
+//     expansion makes the sweep O(log N) deep.
+//  3. Reports carry the best base-node identity in each block; the
+//     origin routes an `announce` to the overall maximum, which declares
+//     itself leader.
+//
+// Messages: N−1 queries + N−1 reports + O(log N) per start/announce —
+// O(N + r log N) for r base nodes. Time: O(log N) after the first start
+// reaches the origin. Late-waking base nodes whose blocks were already
+// resolved are not candidates (their spontaneous wakeup lost the race);
+// exactly one leader is announced regardless.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::chordal {
+
+enum ChordalMsg : std::uint16_t {
+  kStart = 1,     // fields: {remaining_distance} — routed to position 0
+  kQuery = 2,     // fields: {level} — resolve your block [you, you+2^level)
+  kReport = 3,    // fields: {best_id, best_position} (-1, -1 if none)
+  kAnnounce = 4,  // fields: {leader_id, remaining_distance} — routed
+};
+
+// Requires N = 2^r and the sense-of-direction port mapper (ports are
+// ring distances). Sends only on chordal ports.
+sim::ProcessFactory MakeChordalCoordinator();
+
+// Counter: total chord hops spent routing starts and announces.
+inline constexpr char kCounterRoutingHops[] = "chordal.routing_hops";
+
+}  // namespace celect::proto::chordal

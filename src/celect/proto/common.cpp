@@ -1,0 +1,28 @@
+#include "celect/proto/common.h"
+
+#include <sstream>
+
+namespace celect::proto {
+
+std::string ToString(const Credential& c) {
+  std::ostringstream os;
+  os << "(" << c.level << ", " << c.id << ")";
+  return os.str();
+}
+
+void ElectionProcess::OnWakeup(sim::Context& ctx) {
+  if (awake_) return;  // already awakened by a message — barred from
+                       // candidacy, the spontaneous event is a no-op
+  awake_ = true;
+  base_ = true;
+  OnSpontaneousWakeup(ctx);
+}
+
+void ElectionProcess::OnMessage(sim::Context& ctx, sim::Port from_port,
+                                const wire::Packet& p) {
+  bool first_contact = !awake_;
+  awake_ = true;
+  OnPacket(ctx, from_port, p, first_contact);
+}
+
+}  // namespace celect::proto

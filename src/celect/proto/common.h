@@ -1,0 +1,52 @@
+// Shared protocol building blocks.
+//
+// Wakeup discipline (paper §1): an arbitrary subset of nodes wakes up
+// spontaneously — the base nodes. A passive node that first learns of the
+// protocol through a message wakes up too, but is *not allowed to become
+// a base node*; its later spontaneous-wakeup event (if any) is a no-op.
+// ElectionProcess centralises that rule so every protocol gets it right.
+#pragma once
+
+#include <string>
+
+#include "celect/sim/process.h"
+#include "celect/sim/types.h"
+
+namespace celect::proto {
+
+// Lexicographic (level, id) credential used by every capture contest in
+// the paper: (level_j, j) < (l, i) means the sender wins.
+struct Credential {
+  std::int64_t level = 0;
+  sim::Id id = 0;
+  friend auto operator<=>(const Credential&, const Credential&) = default;
+  friend bool operator==(const Credential&, const Credential&) = default;
+};
+
+std::string ToString(const Credential& c);
+
+class ElectionProcess : public sim::Process {
+ public:
+  void OnWakeup(sim::Context& ctx) final;
+  void OnMessage(sim::Context& ctx, sim::Port from_port,
+                 const wire::Packet& p) final;
+
+  bool awake() const { return awake_; }
+  // True iff this node woke spontaneously before hearing any message —
+  // i.e. it participates as a base node.
+  bool is_base() const { return base_; }
+
+ protected:
+  // Spontaneous wakeup of a base node.
+  virtual void OnSpontaneousWakeup(sim::Context& ctx) = 0;
+  // A packet arrived; first_contact is true when this message is what
+  // woke the node (it is then awake but barred from candidacy).
+  virtual void OnPacket(sim::Context& ctx, sim::Port from_port,
+                        const wire::Packet& p, bool first_contact) = 0;
+
+ private:
+  bool awake_ = false;
+  bool base_ = false;
+};
+
+}  // namespace celect::proto

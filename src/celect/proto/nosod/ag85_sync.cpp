@@ -1,0 +1,106 @@
+#include "celect/proto/nosod/ag85_sync.h"
+
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+namespace {
+
+using sim::Id;
+using sim::Port;
+using sim::SyncContext;
+using wire::Packet;
+
+class Ag85SyncNode : public sim::SyncProcess {
+ public:
+  explicit Ag85SyncNode(const sim::SyncProcessInit& init)
+      : id_(init.id), n_(init.n), best_{0, init.id} {}
+
+  void OnRound(SyncContext& ctx,
+               const std::vector<std::pair<Port, Packet>>& inbox) override {
+    if (ctx.round() == 0) {
+      // Synchronous model: all nodes start together as candidates.
+      alive_ = true;
+      step_ = 1;
+      SendStep(ctx);
+      return;
+    }
+    for (const auto& [port, p] : inbox) {
+      switch (p.type) {
+        case kSCapture:
+          HandleCapture(ctx, port, p.field(0), p.field(1));
+          break;
+        case kSAccept:
+          ++accepts_;
+          break;
+        case kSReject:
+          alive_ = false;
+          break;
+        default:
+          CELECT_CHECK(false) << "ag85 sync: unknown type " << p.type;
+      }
+    }
+    if (!alive_ || pending_ == 0) return;
+    if (accepts_ < pending_) return;  // replies for this step incomplete
+    captured_ += accepts_;
+    accepts_ = 0;
+    pending_ = 0;
+    if (captured_ >= n_ - 1) {
+      ctx.DeclareLeader();
+      alive_ = false;  // stop sending; run quiesces
+      return;
+    }
+    ++step_;
+    SendStep(ctx);
+  }
+
+ private:
+  void SendStep(SyncContext& ctx) {
+    std::uint32_t want = 1u << (step_ - 1);
+    std::uint32_t remaining = (n_ - 1) - captured_;
+    std::uint32_t batch = std::min(want, remaining);
+    pending_ = 0;
+    for (std::uint32_t i = 0; i < batch && next_port_ <= n_ - 1; ++i) {
+      ctx.Send(next_port_++, Packet{kSCapture, {id_, step_}});
+      ++pending_;
+    }
+    if (pending_ == 0) alive_ = false;  // out of edges (cannot win)
+  }
+
+  void HandleCapture(SyncContext& ctx, Port port, Id cand,
+                     std::int64_t step) {
+    Credential theirs{step, cand};
+    Credential mine = alive_ ? Credential{step_, id_} : best_;
+    if (theirs > mine) {
+      best_ = theirs;
+      if (alive_) alive_ = false;  // killed by a stronger candidate
+      ctx.Send(port, Packet{kSAccept, {}});
+    } else {
+      ctx.Send(port, Packet{kSReject, {}});
+    }
+  }
+
+  const Id id_;
+  const std::uint32_t n_;
+
+  bool alive_ = false;
+  std::int64_t step_ = 0;
+  std::uint32_t captured_ = 0;
+  std::uint32_t accepts_ = 0;
+  std::uint32_t pending_ = 0;
+  Port next_port_ = 1;
+  Credential best_;  // strongest credential seen (own id at level 0)
+};
+
+}  // namespace
+
+sim::SyncProcessFactory MakeAg85Sync() {
+  return [](const sim::SyncProcessInit& init) {
+    return std::make_unique<Ag85SyncNode>(init);
+  };
+}
+
+}  // namespace celect::proto::nosod

@@ -1,0 +1,26 @@
+// Synchronous doubling election (after Afek & Gafni 1985), used as the
+// synchronous baseline for experiment E13.
+//
+// In the round-synchronous model a candidate doubles its conquest each
+// step: step s sends captures over 2^(s-1) fresh edges carrying
+// (step, id). A node accepts a capture iff it beats the best credential
+// the node has seen (its own included, when it is a live candidate);
+// losing candidates die. A candidate whose accepts total N-1 declares.
+// Takes Θ(log N) rounds — the paper's §5 lower bound shows any
+// message-optimal *asynchronous* protocol needs Ω(N/log N) time, an
+// N/(log N)² separation.
+#pragma once
+
+#include "celect/sim/sync_runtime.h"
+
+namespace celect::proto::nosod {
+
+enum Ag85SyncMsg : std::uint16_t {
+  kSCapture = 1,  // fields: {id, step}
+  kSAccept = 2,   // fields: {}
+  kSReject = 3,   // fields: {}
+};
+
+sim::SyncProcessFactory MakeAg85Sync();
+
+}  // namespace celect::proto::nosod

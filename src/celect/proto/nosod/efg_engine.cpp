@@ -1,0 +1,722 @@
+#include "celect/proto/nosod/efg_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "celect/proto/common.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+struct Contender {
+  Port port;
+  std::int64_t level;
+  Id id;
+  Credential Cred() const { return Credential{level, id}; }
+};
+
+class EfgNode : public ElectionProcess {
+ public:
+  EfgNode(const sim::ProcessInit& init, const EfgParams& params)
+      : id_(init.id), n_(init.n), params_(params), maxid_(init.id) {
+    CELECT_CHECK(params.k >= 1);
+    walk_target_ = params.broadcast
+                       ? static_cast<std::int64_t>((n_ + params.k - 1) /
+                                                   params.k)  // ⌈N/k⌉
+                       : static_cast<std::int64_t>(n_) - 1;
+    window_ = params.f + 1;
+    elect_quorum_ = n_ - 1 - params.f;
+    CELECT_CHECK(elect_quorum_ >= 1)
+        << "failure budget too large for N=" << n_;
+    CELECT_CHECK(!(params.doubling_walk && params.f > 0))
+        << "the doubling walk and the failure window are exclusive";
+  }
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    if (params_.g_phases) {
+      StartFirstPhase(ctx);
+    } else {
+      role_ = Role::kWalking;
+      FillWindow(ctx);
+    }
+  }
+
+  void OnPacket(Context& ctx, Port port, const Packet& p,
+                bool /*first_contact*/) override {
+    switch (p.type) {
+      case kFCapture:
+        HandleCapture(ctx, port, Contender{port, p.field(1), p.field(0)});
+        break;
+      case kFAccept:
+        HandleCaptureAccept(ctx);
+        break;
+      case kFReject:
+        HandleCaptureReject(ctx, port,
+                            Credential{p.field(1), p.field(0)});
+        break;
+      case kFFwd:
+        HandleFwd(ctx, port, p.field(0), p.field(1));
+        break;
+      case kFFwdAccept:
+        HandleFwdReply(ctx, /*owner_killed=*/true, Credential{});
+        break;
+      case kFFwdReject:
+        HandleFwdReply(ctx, /*owner_killed=*/false,
+                       Credential{p.field(1), p.field(0)});
+        break;
+      case kFElect:
+        HandleElect(ctx, port, p.field(0), p.field(1));
+        break;
+      case kFElectAccept:
+        HandleElectAccept(ctx, port);
+        break;
+      case kFElectRejectStronger:
+        if (role_ == Role::kBroadcasting) Die(ctx);
+        break;
+      case kFElectRejectLocked:
+        break;  // not fatal: a release/retry hint may come later
+      case kFConfirm:
+        HandleConfirm(ctx, port, p.field(0));
+        break;
+      case kFConfirmAck:
+        HandleConfirmAck(ctx, port);
+        break;
+      case kFConfirmReject:
+        break;  // the acked quorum decides; rejects carry no information
+      case kFRelease:
+        HandleRelease(ctx, port);
+        break;
+      case kFRetryHint:
+        if (role_ == Role::kBroadcasting) {
+          ctx.Send(port, Packet{kFElect, {id_, level_}});
+        }
+        break;
+      case kGFirstPhase:
+        HandleFirstPhase(ctx, port);
+        break;
+      case kGPAccept:
+        HandleFpResponse(ctx, FpResponse::kAccept);
+        break;
+      case kGProceed:
+        fp_proceed_ports_.push_back(port);
+        HandleFpResponse(ctx, FpResponse::kProceed);
+        break;
+      case kGFinish:
+        HandleFpResponse(ctx, FpResponse::kFinish);
+        break;
+      case kGCheck:
+        ctx.Send(port, Packet{kGCheckReply, {fp_done_ ? 1 : 0}});
+        break;
+      case kGCheckReply:
+        HandleCheckReply(ctx, p.field(0) != 0);
+        break;
+      default:
+        CELECT_CHECK(false) << "EFG engine: unknown message type "
+                            << p.type;
+    }
+  }
+
+ public:
+  std::string DescribeState() const override {
+    static const char* kRoleNames[] = {"passive",  "first-phase",
+                                       "second-phase", "walking",
+                                       "broadcasting", "leader", "dead"};
+    std::string s = kRoleNames[static_cast<int>(role_)];
+    s += " level=" + std::to_string(level_);
+    s += " id=" + std::to_string(id_);
+    if (captured_) s += " captured";
+    s += " outstanding=" + std::to_string(outstanding_);
+    s += " sp_pending=" + std::to_string(sp_pending_);
+    s += " fp_responses=" + std::to_string(fp_responses_) + "/" +
+         std::to_string(fp_threshold_);
+    s += " pending=" + std::to_string(pending_.size());
+    s += " maxid=" + std::to_string(maxid_);
+    s += " elect_acks=" + std::to_string(elect_ports_.size());
+    s += " confirm_acks=" + std::to_string(confirm_ports_.size());
+    if (confirming_) s += " confirming";
+    if (locked_) s += " locked-to=" + std::to_string(locked_id_);
+    if (hint_port_ != sim::kInvalidPort) {
+      s += " hint=" + std::to_string(hint_id_);
+    }
+    if (inflight_) s += " fwd-inflight";
+    if (check_busy_) s += " check-busy";
+    return s;
+  }
+
+ private:
+  enum class Role {
+    kPassive,      // never woke spontaneously (or barred)
+    kFirstPhase,   // G: collecting permissions
+    kSecondPhase,  // G: parallel capture burst to level k
+    kWalking,      // Ɛ sequential capture
+    kBroadcasting, // F/G: protocol D round
+    kLeader,
+    kDead,         // killed candidate
+  };
+
+  Credential Cred() const { return Credential{level_, id_}; }
+
+  // A live authority contests forwarded/direct captures with its current
+  // credential. Captured or dead nodes are not authorities.
+  bool LiveCandidate() const {
+    return !captured_ && (role_ == Role::kFirstPhase ||
+                          role_ == Role::kSecondPhase ||
+                          role_ == Role::kWalking ||
+                          role_ == Role::kBroadcasting ||
+                          role_ == Role::kLeader);
+  }
+
+  bool InSecondPhaseOrLater() const { return reached_second_; }
+
+  // A candidate leaving the race. If it had started locking a confirm
+  // quorum (FT), the locks must be released or rivals deadlock. Declared
+  // leaders never die (and never release their quorum).
+  void Die(Context& ctx) {
+    if (role_ == Role::kLeader) return;
+    if (role_ != Role::kPassive) role_ = Role::kDead;
+    if (confirming_) {
+      confirming_ = false;
+      ctx.SendAll(Packet{kFRelease, {}});
+    }
+  }
+
+  void BecomeCaptured(Context& ctx, Port owner_port) {
+    captured_ = true;
+    owner_port_ = owner_port;
+    Die(ctx);
+  }
+
+  // ---- Ɛ capture walk ------------------------------------------------
+
+  std::optional<Port> NextWalkPort() {
+    while (walk_cursor_ <= n_ - 1 && sent_ports_.count(walk_cursor_)) {
+      ++walk_cursor_;
+    }
+    if (walk_cursor_ > n_ - 1) return std::nullopt;
+    return walk_cursor_;
+  }
+
+  void SendCaptureOn(Context& ctx, Port port) {
+    sent_ports_.insert(port);
+    ctx.Send(port, Packet{kFCapture, {id_, level_}});
+  }
+
+  void FillWindow(Context& ctx) {
+    if (params_.doubling_walk) {
+      StartWalkBatch(ctx);
+      return;
+    }
+    // The window must stay at f+1 outstanding captures even close to the
+    // target: at most f targets can be silently crashed, so a full
+    // window always contains a live one and the walk cannot stall. A few
+    // captures may overshoot the target; the broadcast fires once.
+    while (outstanding_ < window_) {
+      auto port = NextWalkPort();
+      if (!port) break;  // every edge tried; rely on outstanding replies
+      ++outstanding_;
+      SendCaptureOn(ctx, *port);
+    }
+    if (outstanding_ == 0 && level_ >= walk_target_) StartBroadcast(ctx);
+  }
+
+  // [Si92] doubling walk: fire a whole batch at the frozen level, raise
+  // the level by the batch's accepts once every reply is in, double the
+  // batch. Reaching ⌈N/k⌉ takes O(log N) rounds.
+  void StartWalkBatch(Context& ctx) {
+    std::int64_t want =
+        std::min<std::int64_t>(next_batch_, walk_target_ - level_);
+    batch_pending_ = 0;
+    batch_accepts_ = 0;
+    for (std::int64_t i = 0; i < want; ++i) {
+      auto port = NextWalkPort();
+      if (!port) break;
+      ++batch_pending_;
+      SendCaptureOn(ctx, *port);
+    }
+    if (batch_pending_ == 0 && level_ >= walk_target_) StartBroadcast(ctx);
+  }
+
+  void FinishWalkBatch(Context& ctx) {
+    level_ += batch_accepts_;
+    next_batch_ *= 2;
+    if (level_ >= walk_target_) {
+      WalkDone(ctx);
+    } else {
+      StartWalkBatch(ctx);
+    }
+  }
+
+  void WalkDone(Context& ctx) {
+    if (params_.broadcast) {
+      StartBroadcast(ctx);
+    } else {
+      role_ = Role::kLeader;
+      ctx.DeclareLeader();
+    }
+  }
+
+  void HandleCaptureAccept(Context& ctx) {
+    if (captured_ || role_ == Role::kDead) return;
+    if (role_ == Role::kSecondPhase) {
+      ++sp_accepts_;
+      CELECT_CHECK(sp_pending_ > 0);
+      if (--sp_pending_ == 0) FinishSecondPhase(ctx);
+      return;
+    }
+    if (role_ != Role::kWalking) return;
+    if (params_.doubling_walk) {
+      ++batch_accepts_;
+      CELECT_CHECK(batch_pending_ > 0);
+      if (--batch_pending_ == 0) FinishWalkBatch(ctx);
+      return;
+    }
+    CELECT_CHECK(outstanding_ > 0);
+    --outstanding_;
+    ++level_;
+    if (level_ >= walk_target_) {
+      WalkDone(ctx);
+      return;
+    }
+    FillWindow(ctx);
+  }
+
+  void HandleCaptureReject(Context& ctx, Port port, Credential rejecter) {
+    if (captured_) return;
+    if (role_ != Role::kWalking && role_ != Role::kSecondPhase) return;
+    // With a capture window > 1 (FT), our level can have grown while the
+    // rejected capture was in flight; a stale credential losing is not
+    // fatal if our *current* one now wins — re-contest. Without this,
+    // two top candidates can mutually kill each other with crossing
+    // stale captures and leave the network leaderless. Sequential walks
+    // (window 1) freeze the level while waiting, so the retry never
+    // fires there and the paper's behaviour is unchanged.
+    if (role_ == Role::kWalking && Cred() > rejecter) {
+      ctx.Send(port, Packet{kFCapture, {id_, level_}});
+      return;
+    }
+    Die(ctx);
+  }
+
+  void HandleCapture(Context& ctx, Port port, Contender c) {
+    if (captured_) {
+      EnqueueContender(ctx, c);
+      return;
+    }
+    // A declared leader is final; it outranks any credential.
+    if (role_ == Role::kLeader) {
+      ctx.Send(port, Packet{kFReject, {id_, level_}});
+      return;
+    }
+    // Protocol G: nodes that have not started their second phase are
+    // regarded as passive — they accept unconditionally (Lemma 4.3(a)).
+    if (params_.g_phases && !InSecondPhaseOrLater()) {
+      BecomeCaptured(ctx, port);
+      ctx.Send(port, Packet{kFAccept, {}});
+      return;
+    }
+    // A node that never woke as a base node has nothing to defend: it is
+    // captured outright. (Letting passive nodes contest with (0, id)
+    // would let a lone small-identity candidate be killed by a passive
+    // bystander and leave the network leaderless.)
+    if (!is_base()) {
+      BecomeCaptured(ctx, port);
+      ctx.Send(port, Packet{kFAccept, {}});
+      return;
+    }
+    // AG85 contest among base nodes (live candidates and killed ones
+    // alike) on their own current (level, id).
+    if (Cred() < c.Cred()) {
+      BecomeCaptured(ctx, port);
+      ctx.Send(port, Packet{kFAccept, {}});
+    } else {
+      ctx.Send(port, Packet{kFReject, {id_, level_}});
+    }
+  }
+
+  // ---- Forwarding at captured nodes ----------------------------------
+
+  void EnqueueContender(Context& ctx, Contender c) {
+    if (!params_.throttle_forwards) {
+      // Raw AG85: forward immediately; replies match in FIFO order.
+      fifo_.push_back(c);
+      ctx.MaxCounter(kCounterFwdQueuePeak,
+                     static_cast<std::int64_t>(fifo_.size()));
+      ctx.Send(owner_port_, Packet{kFFwd, {c.id, c.level}});
+      return;
+    }
+    pending_.push_back(c);
+    ctx.MaxCounter(kCounterFwdQueuePeak,
+                   static_cast<std::int64_t>(pending_.size()));
+    PumpForward(ctx);
+  }
+
+  void PumpForward(Context& ctx) {
+    if (inflight_ || pending_.empty()) return;
+    auto best = std::max_element(
+        pending_.begin(), pending_.end(),
+        [](const Contender& a, const Contender& b) {
+          return a.Cred() < b.Cred();
+        });
+    inflight_ = *best;
+    pending_.erase(best);
+    ctx.Send(owner_port_, Packet{kFFwd, {inflight_->id, inflight_->level}});
+  }
+
+  void HandleFwd(Context& ctx, Port port, Id cand, std::int64_t cand_level) {
+    // We are (or were) the owner of the forwarding node.
+    if (LiveCandidate()) {
+      if (role_ == Role::kLeader) {
+        ctx.Send(port, Packet{kFFwdReject, {id_, level_}});
+        return;
+      }
+      // Owners still short of their second phase count as passive under
+      // protocol G (Lemma 4.3(c)) and are killed unconditionally.
+      bool forced = params_.g_phases && !InSecondPhaseOrLater();
+      if (!forced && Cred() > Credential{cand_level, cand}) {
+        ctx.Send(port, Packet{kFFwdReject, {id_, level_}});
+        return;
+      }
+      Die(ctx);  // the contender killed us
+    }
+    ctx.Send(port, Packet{kFFwdAccept, {}});
+  }
+
+  void HandleFwdReply(Context& ctx, bool owner_killed,
+                      Credential rejecter) {
+    if (!params_.throttle_forwards) {
+      CELECT_CHECK(!fifo_.empty()) << "unmatched forward reply";
+      Contender c = fifo_.front();
+      fifo_.pop_front();
+      if (owner_killed) {
+        owner_port_ = c.port;
+        ctx.Send(c.port, Packet{kFAccept, {}});
+      } else {
+        ctx.Send(c.port, Packet{kFReject, {rejecter.id, rejecter.level}});
+      }
+      return;
+    }
+    CELECT_CHECK(inflight_.has_value()) << "unmatched forward reply";
+    if (!owner_killed) {
+      ctx.Send(inflight_->port,
+               Packet{kFReject, {rejecter.id, rejecter.level}});
+      inflight_.reset();
+      PumpForward(ctx);
+      return;
+    }
+    // Owner killed: the largest contender seen so far takes this node
+    // (paper Ɛ: "sends an accept to the node from which it has received
+    // the largest (level, id) pair so far"); everyone else now contests
+    // the new owner.
+    Contender winner = *inflight_;
+    inflight_.reset();
+    auto best = std::max_element(
+        pending_.begin(), pending_.end(),
+        [](const Contender& a, const Contender& b) {
+          return a.Cred() < b.Cred();
+        });
+    if (best != pending_.end() && best->Cred() > winner.Cred()) {
+      // A stronger contender arrived while the forward was in flight: it
+      // takes the node, and the forwarded one goes back to the pool to
+      // contest the new owner.
+      std::swap(*best, winner);
+    }
+    owner_port_ = winner.port;
+    ctx.Send(winner.port, Packet{kFAccept, {}});
+    PumpForward(ctx);
+  }
+
+  // ---- Broadcast round (protocol D with the (level, maxid) rule) -----
+  //
+  // With f = 0 this is exactly the paper's protocol F/G finale: accept
+  // iff (level_j, maxid_j) < (level_i, i), weaker broadcasters stall
+  // silently, quorum is all N-1 accepts. With f > 0 the quorum drops to
+  // N-1-f, which alone would let a slow rival assemble a second quorum
+  // after the first leader declared; the confirm round closes that: a
+  // broadcaster with an elect quorum must also *lock* N-1-f nodes, a
+  // locked node rejects every other candidate until its owner dies and
+  // releases it, and two disjoint locked quorums cannot coexist for
+  // f < (N-1)/2.
+
+  void StartBroadcast(Context& ctx) {
+    if (role_ == Role::kBroadcasting || role_ == Role::kLeader) return;
+    role_ = Role::kBroadcasting;
+    ctx.AddCounter(kCounterBroadcasters, 1);
+    // Carry the *actual* level: G's first phase can push it past the
+    // walk target (up to k+f first-phase accepts), and two such
+    // broadcasters must still rank each other — advertising only the
+    // target would let them ignore one another forever.
+    ctx.SendAll(Packet{kFElect, {id_, level_}});
+  }
+
+  void HandleElect(Context& ctx, Port port, Id cand,
+                   std::int64_t cand_level) {
+    const bool ft = params_.f > 0;
+    if (role_ == Role::kLeader) {
+      if (ft) ctx.Send(port, Packet{kFElectRejectStronger, {}});
+      return;
+    }
+    if (ft && locked_) {
+      if (locked_id_ == cand) {
+        ctx.Send(port, Packet{kFElectAccept, {}});
+        return;
+      }
+      // Remember the strongest rejected candidate: if our lock owner
+      // dies we hint it to retry.
+      if (cand > hint_id_) {
+        hint_id_ = cand;
+        hint_port_ = port;
+      }
+      ctx.Send(port, Packet{kFElectRejectLocked, {}});
+      return;
+    }
+    if (Credential{level_, maxid_} < Credential{cand_level, cand}) {
+      maxid_ = std::max(maxid_, cand);
+      accepted_max_ = std::max(accepted_max_, cand);
+      Die(ctx);
+      ctx.Send(port, Packet{kFElectAccept, {}});
+    } else if (ft) {
+      ctx.Send(port, Packet{kFElectRejectStronger, {}});
+    }
+    // else (paper, f = 0): silence — the weaker broadcaster stalls.
+  }
+
+  void HandleElectAccept(Context& ctx, Port port) {
+    if (role_ != Role::kBroadcasting) return;
+    elect_ports_.insert(port);  // idempotent under FT retries
+    if (elect_ports_.size() < elect_quorum_) return;
+    if (params_.f == 0) {
+      role_ = Role::kLeader;
+      ctx.DeclareLeader();
+      return;
+    }
+    if (!confirming_) {
+      confirming_ = true;
+      ctx.SendAll(Packet{kFConfirm, {id_}});
+    }
+  }
+
+  void HandleConfirm(Context& ctx, Port port, Id cand) {
+    if (locked_) {
+      ctx.Send(port, Packet{locked_id_ == cand
+                                ? static_cast<std::uint16_t>(kFConfirmAck)
+                                : static_cast<std::uint16_t>(
+                                      kFConfirmReject),
+                            {}});
+      return;
+    }
+    // Lock iff the strongest elect we ever *accepted* is the confirmer
+    // (own id deliberately excluded: a dead high-id node that accepted
+    // the elect must still be able to confirm). A node that accepted an
+    // elect died as a candidate at that moment, so no live rival locks.
+    if (accepted_max_ == cand && role_ != Role::kLeader) {
+      locked_ = true;
+      locked_port_ = port;
+      locked_id_ = cand;
+      ctx.Send(port, Packet{kFConfirmAck, {}});
+    } else {
+      ctx.Send(port, Packet{kFConfirmReject, {}});
+    }
+  }
+
+  void HandleConfirmAck(Context& ctx, Port port) {
+    if (role_ != Role::kBroadcasting || !confirming_) return;
+    confirm_ports_.insert(port);
+    if (confirm_ports_.size() >= elect_quorum_) {
+      role_ = Role::kLeader;
+      ctx.DeclareLeader();
+    }
+  }
+
+  void HandleRelease(Context& ctx, Port port) {
+    if (!locked_ || locked_port_ != port) return;
+    locked_ = false;
+    locked_id_ = 0;
+    if (hint_port_ != sim::kInvalidPort) {
+      ctx.Send(hint_port_, Packet{kFRetryHint, {}});
+      hint_port_ = sim::kInvalidPort;
+      hint_id_ = 0;
+    }
+  }
+
+  // ---- Protocol G first and second phases ----------------------------
+
+  void StartFirstPhase(Context& ctx) {
+    role_ = Role::kFirstPhase;
+    fp_sent_ = std::min<std::uint32_t>(params_.k + params_.f, n_ - 1);
+    fp_threshold_ = fp_sent_ > params_.f ? fp_sent_ - params_.f : 1;
+    for (std::uint32_t i = 0; i < fp_sent_; ++i) {
+      auto port = NextWalkPort();
+      CELECT_CHECK(port.has_value());
+      sent_ports_.insert(*port);
+      ctx.Send(*port, Packet{kGFirstPhase, {id_}});
+    }
+  }
+
+  enum class FpResponse { kAccept, kProceed, kFinish };
+
+  void HandleFpResponse(Context& ctx, FpResponse r) {
+    if (role_ != Role::kFirstPhase) return;  // late (FT) responses
+    switch (r) {
+      case FpResponse::kAccept:
+        ++fp_accepts_;
+        break;
+      case FpResponse::kProceed:
+        break;  // port already recorded
+      case FpResponse::kFinish:
+        fp_finish_ = true;
+        break;
+    }
+    if (++fp_responses_ < fp_threshold_) return;
+    fp_done_ = true;
+    AnswerPendingChecks(ctx);
+    if (fp_finish_ || captured_) {
+      Die(ctx);
+      return;
+    }
+    // Second phase: level := first-phase accepts; capture every node
+    // that answered proceed, in parallel.
+    role_ = Role::kSecondPhase;
+    reached_second_ = true;
+    level_ = fp_accepts_;
+    sp_pending_ = static_cast<std::uint32_t>(fp_proceed_ports_.size());
+    if (sp_pending_ == 0) {
+      FinishSecondPhase(ctx);
+      return;
+    }
+    for (Port port : fp_proceed_ports_) {
+      ctx.Send(port, Packet{kFCapture, {id_, level_}});
+    }
+  }
+
+  void FinishSecondPhase(Context& ctx) {
+    level_ += sp_accepts_;
+    role_ = Role::kWalking;
+    if (level_ >= walk_target_) {
+      StartBroadcast(ctx);
+    } else {
+      FillWindow(ctx);
+    }
+  }
+
+  void HandleFirstPhase(Context& ctx, Port port) {
+    if (captured_) {
+      // Ask our owner whether it finished its first phase; one check
+      // outstanding at a time, further askers queue behind it.
+      if (owner_finished_) {
+        ctx.Send(port, Packet{kGFinish, {}});
+        return;
+      }
+      check_queue_.push_back(port);
+      if (!check_busy_) {
+        check_busy_ = true;
+        ctx.Send(owner_port_, Packet{kGCheck, {}});
+      }
+      return;
+    }
+    if (is_base() && fp_done_) {
+      ctx.Send(port, Packet{kGFinish, {}});
+      return;
+    }
+    if (is_base() && role_ == Role::kFirstPhase) {
+      ctx.Send(port, Packet{kGProceed, {}});
+      return;
+    }
+    // Passive (or awakened-non-base) uncaptured node: captured by the
+    // asker.
+    BecomeCaptured(ctx, port);
+    ctx.Send(port, Packet{kGPAccept, {}});
+  }
+
+  void HandleCheckReply(Context& ctx, bool finished) {
+    CELECT_CHECK(check_busy_) << "unexpected check reply";
+    check_busy_ = false;
+    if (finished) owner_finished_ = true;
+    std::uint16_t reply = finished ? kGFinish : kGProceed;
+    for (Port port : check_queue_) ctx.Send(port, Packet{reply, {}});
+    check_queue_.clear();
+  }
+
+  void AnswerPendingChecks(Context&) {
+    // Nothing to do: checks are answered by the owner, not by us. Hook
+    // retained for symmetry/clarity when first phase completes.
+  }
+
+  const Id id_;
+  const std::uint32_t n_;
+  const EfgParams params_;
+
+  Role role_ = Role::kPassive;
+  bool reached_second_ = false;  // G: ever entered the second phase
+  bool captured_ = false;
+  Port owner_port_ = sim::kInvalidPort;
+  std::int64_t level_ = 0;
+  Id maxid_;
+  std::int64_t walk_target_ = 0;
+  std::uint32_t window_ = 1;
+  std::uint32_t elect_quorum_ = 0;
+
+  // Walk state.
+  std::unordered_set<Port> sent_ports_;
+  Port walk_cursor_ = 1;
+  std::uint32_t outstanding_ = 0;
+  // Doubling-walk state ([Si92] variant).
+  std::int64_t next_batch_ = 1;
+  std::uint32_t batch_pending_ = 0;
+  std::uint32_t batch_accepts_ = 0;
+
+  // Forwarding state (captured nodes).
+  std::vector<Contender> pending_;
+  std::optional<Contender> inflight_;
+  std::deque<Contender> fifo_;  // unthrottled mode
+
+  // Broadcast state.
+  std::unordered_set<Port> elect_ports_;
+
+  // FT confirm-round state.
+  bool confirming_ = false;
+  std::unordered_set<Port> confirm_ports_;
+  Id accepted_max_ = 0;  // strongest elect this node has accepted
+  bool locked_ = false;
+  Port locked_port_ = sim::kInvalidPort;
+  Id locked_id_ = 0;
+  Port hint_port_ = sim::kInvalidPort;
+  Id hint_id_ = 0;
+
+  // G first/second phase state.
+  std::uint32_t fp_sent_ = 0;
+  std::uint32_t fp_threshold_ = 0;
+  std::uint32_t fp_responses_ = 0;
+  std::uint32_t fp_accepts_ = 0;
+  bool fp_finish_ = false;
+  bool fp_done_ = false;
+  std::vector<Port> fp_proceed_ports_;
+  std::uint32_t sp_pending_ = 0;
+  std::uint32_t sp_accepts_ = 0;
+
+  // Check machinery (captured nodes answering first-phase queries).
+  bool check_busy_ = false;
+  bool owner_finished_ = false;
+  std::vector<Port> check_queue_;
+};
+
+}  // namespace
+
+sim::ProcessFactory MakeEfgProcess(EfgParams params) {
+  return [params](const sim::ProcessInit& init) {
+    return std::make_unique<EfgNode>(init, params);
+  };
+}
+
+}  // namespace celect::proto::nosod

@@ -1,0 +1,94 @@
+// Shared engine for the paper's §4 family (no sense of direction):
+//
+//   E — AG85 sequential capture with the Ɛ forwarding throttle
+//       (walk to level N-1, declare).
+//   F — Ɛ-walk to level N/k, then protocol D's broadcast with the
+//       (level, maxid) acceptance rule.
+//   G — F preceded by the two wakeup-ordering phases (first-phase
+//       permission handshake with finish/accept/proceed/check, then a
+//       parallel capture burst to level k).
+//   FT — G extended to tolerate f initial crash failures: first-phase
+//       redundancy (ask k+f, wait for k), capture window of f+1
+//       outstanding messages, and an elect quorum of N-1-f.
+//
+// Walk semantics (Ɛ): a candidate sends capture(level, id) over its
+// incident edges one at a time (a window of f+1 for FT). An uncaptured
+// node contests with its own (level, id) — winner captures it, loser is
+// killed by an explicit reject. A captured node forwards the contest to
+// its current owner, who must be killed first; with the throttle, at
+// most one forwarded message per node is outstanding and the node
+// buffers contenders, forwarding/accepting the lexicographically largest
+// (exactly the paper's Ɛ modification that makes every successful
+// capture O(1) time). With the throttle off (raw AG85 protocol A), every
+// contender is forwarded immediately and a node may have Θ(N) forwarded
+// messages serialised on one link — the pathology motivating Ɛ.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+enum EfgMsg : std::uint16_t {
+  kFCapture = 1,      // fields: {id, level}
+  kFAccept = 2,       // fields: {}
+  kFReject = 3,       // fields: {rejecter_id, rejecter_level}
+  kFFwd = 4,          // fields: {id, level} — contest forwarded to owner
+  kFFwdAccept = 5,    // fields: {} — owner killed
+  kFFwdReject = 6,    // fields: {rejecter_id, rejecter_level}
+  kFElect = 7,        // fields: {id, target_level}
+  kFElectAccept = 8,  // fields: {}
+  kGFirstPhase = 9,   // fields: {id}
+  kGPAccept = 10,     // fields: {} — first-phase capture of a passive node
+  kGProceed = 11,     // fields: {}
+  kGFinish = 12,      // fields: {}
+  kGCheck = 13,       // fields: {}
+  kGCheckReply = 14,  // fields: {finished ? 1 : 0}
+
+  // FT confirm round (f > 0 only; see fault_tolerant.h). A broadcaster
+  // that reaches the elect quorum must also lock a confirm quorum; locked
+  // nodes answer everyone else with rejects until their owner releases
+  // them, which makes the N-1-f quorums of two would-be leaders disjoint
+  // and pins safety down to f < (N-1)/2.
+  kFConfirm = 15,             // fields: {id}
+  kFConfirmAck = 16,          // fields: {}
+  kFConfirmReject = 17,       // fields: {}
+  kFElectRejectStronger = 18, // fields: {} — a stronger credential exists
+  kFElectRejectLocked = 19,   // fields: {} — node is locked to a rival
+  kFRelease = 20,             // fields: {} — lock owner died, unlock
+  kFRetryHint = 21,           // fields: {} — unlocked; re-send your elect
+};
+
+struct EfgParams {
+  // F/G family parameter: the walk stops (and the broadcast starts) at
+  // level ⌈N/k⌉. Ignored when broadcast == false.
+  std::uint32_t k = 1;
+  // false: pure protocol E — walk to level N-1 and declare directly.
+  bool broadcast = true;
+  // The Ɛ throttle. false reproduces raw AG85 forwarding (Θ(N) link
+  // congestion possible).
+  bool throttle_forwards = true;
+  // Protocol G's two wakeup-ordering phases. Implies the "nodes not yet
+  // in their second phase count as passive" capture rule.
+  bool g_phases = false;
+  // Failure budget f (FT variant): first-phase redundancy, capture
+  // window f+1, elect quorum N-1-f. Requires g_phases or plain walk.
+  std::uint32_t f = 0;
+  // [Si92] refinement (paper §4, last paragraph): walk in exponentially
+  // growing batches using the AG85 synchronous capturing pattern. The
+  // level is frozen during a batch (so crossing contests stay totally
+  // ordered) and jumps by the batch's accepts at its end; reaching level
+  // N/k then takes O(log N) batch rounds instead of N/k sequential
+  // round-trips, giving O(log N + min(r, N/log N)) time in the number of
+  // base nodes r. Mutually exclusive with f > 0.
+  bool doubling_walk = false;
+};
+
+sim::ProcessFactory MakeEfgProcess(EfgParams params);
+
+// Counters surfaced via RunResult::counters.
+inline constexpr char kCounterBroadcasters[] = "f.broadcasters";
+inline constexpr char kCounterFwdQueuePeak[] = "f.fwd_queue_peak";
+
+}  // namespace celect::proto::nosod

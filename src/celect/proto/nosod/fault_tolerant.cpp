@@ -1,0 +1,23 @@
+#include "celect/proto/nosod/fault_tolerant.h"
+
+#include "celect/proto/nosod/efg_engine.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+sim::ProcessFactory MakeFaultTolerant(std::uint32_t f, std::uint32_t k) {
+  return [f, k](const sim::ProcessInit& init) {
+    // The confirm-round disjointness argument needs 2(N-1-f) > N-1.
+    CELECT_CHECK(f == 0 || 2 * f < init.n - 1)
+        << "fault tolerance requires f < (N-1)/2";
+    EfgParams params;
+    params.k = k == 0 ? MessageOptimalK(init.n) : k;
+    params.broadcast = true;
+    params.g_phases = true;
+    params.f = f;
+    return MakeEfgProcess(params)(init);
+  };
+}
+
+}  // namespace celect::proto::nosod

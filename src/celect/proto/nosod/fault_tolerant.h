@@ -1,0 +1,35 @@
+// Fault-tolerant election (paper §4, last paragraph) — tolerates up to f
+// initial site failures using the BKWZ87 redundancy idea:
+// O(Nf + N log N) messages and O(N/log N) time.
+//
+// The paper cites the technique without spelling it out; our adaptation
+// (documented in DESIGN.md) adds four forms of f-redundancy to protocol
+// G at k = log N:
+//   1. the first phase asks k+f nodes and proceeds after k responses;
+//   2. the capture walk keeps a window of f+1 outstanding captures (at
+//      most f targets can be silently dead, so the window always holds a
+//      live one and progress is preserved; rejects carry the rejecter's
+//      current credential so stale-credential crossings re-contest
+//      instead of mutually killing);
+//   3. the elect broadcast accepts a quorum of N-1-f;
+//   4. a Paxos-style confirm round: the broadcaster must also *lock*
+//      N-1-f nodes; a locked node rejects every other candidate until
+//      its owner dies and releases it (with a retry hint to the
+//      strongest rejected rival). Two locked quorums of size N-1-f are
+//      necessarily disjoint, which is impossible for f < (N-1)/2 — so at
+//      most one candidate ever declares, even when fewer than f nodes
+//      actually failed.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+// k = 0 picks the message-optimal k = ⌈log2 N⌉. Requires f < (N-1)/2
+// (slightly stronger than the paper's f < N/2; the margin pays for the
+// confirm-round disjointness argument).
+sim::ProcessFactory MakeFaultTolerant(std::uint32_t f, std::uint32_t k = 0);
+
+}  // namespace celect::proto::nosod

@@ -1,0 +1,60 @@
+#include "celect/proto/nosod/protocol_d.h"
+
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+class ProtocolDNode : public ElectionProcess {
+ public:
+  explicit ProtocolDNode(const sim::ProcessInit& init)
+      : id_(init.id), n_(init.n) {}
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    ctx.SendAll(Packet{kDElect, {id_}});
+  }
+
+  void OnPacket(Context& ctx, Port from_port, const Packet& p,
+                bool /*first_contact*/) override {
+    switch (p.type) {
+      case kDElect:
+        // Silence is the contest: only a base node with a larger
+        // identity withholds its accept.
+        if (!(is_base() && id_ > p.field(0))) {
+          ctx.Send(from_port, Packet{kDAccept, {}});
+        }
+        break;
+      case kDAccept:
+        if (is_base() && ++accepts_ == n_ - 1) ctx.DeclareLeader();
+        break;
+      default:
+        CELECT_CHECK(false) << "protocol D: unknown message type "
+                            << p.type;
+    }
+  }
+
+ private:
+  const Id id_;
+  const std::uint32_t n_;
+  std::uint32_t accepts_ = 0;
+};
+
+}  // namespace
+
+sim::ProcessFactory MakeProtocolD() {
+  return [](const sim::ProcessInit& init) {
+    return std::make_unique<ProtocolDNode>(init);
+  };
+}
+
+}  // namespace celect::proto::nosod

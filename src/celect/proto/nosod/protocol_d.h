@@ -1,0 +1,25 @@
+// Protocol D (paper §4) — parallel flooding election, no sense of
+// direction.
+//
+// On waking, a base node broadcasts elect(id) on all N-1 edges. A node
+// receiving elect(i) stays silent iff it is a base node with a larger
+// identity; otherwise it accepts. The node that collects N-1 accepts —
+// the largest base node — declares itself leader. O(1) time, O(N²)
+// messages; protocol F uses it as the final round after Ɛ has whittled
+// the candidates down to O(k).
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+enum ProtocolDMsg : std::uint16_t {
+  kDElect = 1,   // fields: {candidate_id}
+  kDAccept = 2,  // fields: {}
+};
+
+sim::ProcessFactory MakeProtocolD();
+
+}  // namespace celect::proto::nosod

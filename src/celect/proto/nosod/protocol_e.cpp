@@ -1,0 +1,15 @@
+#include "celect/proto/nosod/protocol_e.h"
+
+#include "celect/proto/nosod/efg_engine.h"
+
+namespace celect::proto::nosod {
+
+sim::ProcessFactory MakeProtocolE(bool throttle_forwards) {
+  EfgParams params;
+  params.k = 1;
+  params.broadcast = false;  // walk all the way to level N-1 and declare
+  params.throttle_forwards = throttle_forwards;
+  return MakeEfgProcess(params);
+}
+
+}  // namespace celect::proto::nosod

@@ -1,0 +1,21 @@
+// Protocol Ɛ (paper §4) — AG85 sequential capture with throttled
+// forwarding, no sense of direction.
+//
+// A base node captures nodes one edge at a time, contesting on
+// (level, id); capturing an owned node requires killing its owner first.
+// The Ɛ modification keeps at most one forwarded message per node in
+// flight and always forwards/accepts the largest buffered (level, id), so
+// every successful capture takes O(1) time — raw AG85 can serialise Θ(N)
+// forwarded messages on one link. O(N log N) messages, O(N) time; the
+// candidate that reaches level N-1 has captured everyone and declares.
+#pragma once
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+// throttle_forwards = false gives raw AG85 protocol A (the congestion
+// pathology benchmarked in experiment E8).
+sim::ProcessFactory MakeProtocolE(bool throttle_forwards = true);
+
+}  // namespace celect::proto::nosod

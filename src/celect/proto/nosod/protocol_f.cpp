@@ -1,0 +1,16 @@
+#include "celect/proto/nosod/protocol_f.h"
+
+#include "celect/proto/nosod/efg_engine.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+sim::ProcessFactory MakeProtocolF(std::uint32_t k) {
+  CELECT_CHECK(k >= 1);
+  EfgParams params;
+  params.k = k;
+  params.broadcast = true;
+  return MakeEfgProcess(params);
+}
+
+}  // namespace celect::proto::nosod

@@ -1,0 +1,22 @@
+// Protocol F (paper §4) — the Ɛ-then-D hybrid, no sense of direction.
+//
+// A base node runs Ɛ until its level reaches ⌈N/k⌉, then broadcasts
+// elect(id) on all edges; a node accepts iff its (level, maxid) is
+// lexicographically below (N/k, id). Since at most k nodes can reach
+// level N/k, the broadcast costs O(Nk) messages, for O(Nk) total and —
+// when all nodes wake within O(N/k) of each other (Lemma 4.1), or once
+// some node reaches level k (Lemma 4.2) — O(N/k) time. Protocol G adds
+// the wakeup-ordering phases that make the time bound unconditional.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+// log N <= k <= N per the paper; k trades messages (O(Nk)) for time
+// (O(N/k)).
+sim::ProcessFactory MakeProtocolF(std::uint32_t k);
+
+}  // namespace celect::proto::nosod

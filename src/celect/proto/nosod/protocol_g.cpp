@@ -1,0 +1,33 @@
+#include "celect/proto/nosod/protocol_g.h"
+
+#include "celect/proto/nosod/efg_engine.h"
+#include "celect/topo/ring_math.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::nosod {
+
+std::uint32_t MessageOptimalK(std::uint32_t n) {
+  CELECT_CHECK(n >= 2);
+  return topo::RingMath::CeilLog2(n) > 0 ? topo::RingMath::CeilLog2(n) : 1;
+}
+
+sim::ProcessFactory MakeProtocolG(std::uint32_t k) {
+  CELECT_CHECK(k >= 1);
+  EfgParams params;
+  params.k = k;
+  params.broadcast = true;
+  params.g_phases = true;
+  return MakeEfgProcess(params);
+}
+
+sim::ProcessFactory MakeProtocolGDoubling(std::uint32_t k) {
+  CELECT_CHECK(k >= 1);
+  EfgParams params;
+  params.k = k;
+  params.broadcast = true;
+  params.g_phases = true;
+  params.doubling_walk = true;
+  return MakeEfgProcess(params);
+}
+
+}  // namespace celect::proto::nosod

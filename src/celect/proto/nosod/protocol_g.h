@@ -1,0 +1,37 @@
+// Protocol G (paper §4) — the headline no-sense-of-direction result:
+// O(Nk) messages and O(N/k) time for any log N ≤ k ≤ N, unconditionally.
+//
+// F's time bound needs wakeups clustered within O(N/k); an adversary
+// staggering base-node wakeups defeats it. G prepends two phases that
+// recognise wakeup order. First phase: a fresh base node asks permission
+// over k edges; finished nodes answer "finish" (the asker is ordered
+// after them and killed), passive nodes are captured ("accept"), peers
+// still in their first phase answer "proceed"; captured nodes query
+// their owner's progress with a congestion-free check handshake. Second
+// phase: the survivor captures all proceed-responders in parallel,
+// reaching level k. Lemma 4.3: in every 11-time-unit window either k
+// nodes wake or someone reaches level k, so F's preconditions hold and
+// the whole protocol runs in O(N/k) time. At the message-optimal point
+// k = log N this is O(N log N) messages and O(N/log N) time — matching
+// the paper's Ω(N/log N) lower bound (§5).
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::nosod {
+
+sim::ProcessFactory MakeProtocolG(std::uint32_t k);
+
+// The [Si92] refinement the paper closes §4 with: replacing the
+// sequential Ɛ walk with the AG85 synchronous capturing pattern
+// (exponentially growing capture batches at a frozen level) keeps the
+// O(Nk) message bound but improves time to O(log N + min(r, N/log N)),
+// where r is the number of base nodes.
+sim::ProcessFactory MakeProtocolGDoubling(std::uint32_t k);
+
+// The paper's message-optimal parameter choice k = ⌈log2 N⌉.
+std::uint32_t MessageOptimalK(std::uint32_t n);
+
+}  // namespace celect::proto::nosod

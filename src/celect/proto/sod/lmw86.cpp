@@ -1,0 +1,21 @@
+#include "celect/proto/sod/lmw86.h"
+
+#include "celect/proto/sod/protocol_a.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::sod {
+
+std::uint32_t Lmw86Stride(std::uint32_t n) {
+  CELECT_CHECK(n >= 2);
+  return (n + 1) / 2;  // ⌈N/2⌉: a majority segment
+}
+
+sim::ProcessFactory MakeLmw86() {
+  return [](const sim::ProcessInit& init) {
+    ProtocolAParams params;
+    params.k = Lmw86Stride(init.n);
+    return MakeProtocolA(params)(init);
+  };
+}
+
+}  // namespace celect::proto::sod

@@ -1,0 +1,23 @@
+// LMW86 majority-capture baseline (Loui, Matsushita & West 1986).
+//
+// The protocol this paper improves on: with sense of direction, a base
+// node captures the majority segment i[1..⌈N/2⌉]; since any two majority
+// segments intersect, at most one candidate can complete, and it declares
+// itself leader after its owner round. O(N) messages, O(N) time — the
+// paper's protocols A′ and C beat the time bound (O(√N) and O(log N))
+// at the same message complexity.
+//
+// Implemented as protocol A with k = ⌈N/2⌉: the strided elect set is then
+// empty and the second phase reduces to the owner round.
+#pragma once
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::sod {
+
+sim::ProcessFactory MakeLmw86();
+
+// The k protocol A uses to emulate LMW86 for a given N.
+std::uint32_t Lmw86Stride(std::uint32_t n);
+
+}  // namespace celect::proto::sod

@@ -1,0 +1,316 @@
+#include "celect/proto/sod/protocol_a.h"
+
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::sod {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+// Implementation notes (see DESIGN.md, "protocol A hardening"):
+// the paper's two-phase description leaves two races open when read
+// literally — an elect can overtake the second-phase owner update at a
+// captured node (two candidates can then both collect full accept sets),
+// and a silently-ignored capture leaves a stalled high-credential walker
+// that blocks every later elect. We close both with the machinery the
+// paper itself uses in protocols C and E: losing contests answer with an
+// explicit reject (the loser is dead, not stalled), captures record the
+// capturing link as owner-link, and an elect arriving at an owned node is
+// forwarded over the owner-link so the *owner's current* (level, id)
+// credential decides — kill the owner before claiming the node. At most
+// one forwarded contest is outstanding per node (further ones queue),
+// which also keeps per-link congestion constant.
+
+class ProtocolANode : public ElectionProcess {
+ public:
+  ProtocolANode(const sim::ProcessInit& init, std::uint32_t k,
+                bool awaken_neighbors)
+      : id_(init.id),
+        n_(init.n),
+        k_(k),
+        awaken_neighbors_(awaken_neighbors) {}
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    if (awaken_neighbors_) SendAwakens(ctx);
+    phase_ = Phase::kCapturing;
+    SendNextCapture(ctx);
+  }
+
+  void OnPacket(Context& ctx, Port from_port, const Packet& p,
+                bool first_contact) override {
+    if (awaken_neighbors_ && first_contact) SendAwakens(ctx);
+    switch (p.type) {
+      case kACapture:
+        HandleCapture(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kAAccept:
+        HandleAccept(ctx, p.field(0));
+        break;
+      case kAReject:
+        if (phase_ == Phase::kCapturing) dead_ = true;
+        break;
+      case kAOwner:
+        SetOwner(from_port, p.field(0));
+        ctx.Send(from_port, Packet{kAOwnerAck, {}});
+        break;
+      case kAOwnerAck:
+        HandleOwnerAck(ctx);
+        break;
+      case kAElect:
+        HandleElect(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kAElectAccept:
+        HandleElectAccept(ctx);
+        break;
+      case kAElectReject:
+        if (phase_ == Phase::kElectRound) dead_ = true;
+        break;
+      case kAFwdElect:
+        HandleFwdElect(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kAFwdAccept:
+        HandleFwdReply(ctx, /*accepted=*/true);
+        break;
+      case kAFwdReject:
+        HandleFwdReply(ctx, /*accepted=*/false);
+        break;
+      case kAAwaken:
+        break;  // waking (and barring) already happened in the base class
+      default:
+        CELECT_CHECK(false) << "protocol A: unknown message type "
+                            << p.type;
+    }
+  }
+
+ private:
+  enum class Phase { kIdle, kCapturing, kOwnerRound, kElectRound, kDone };
+
+  Credential Cred() const { return Credential{level_, id_}; }
+
+  // A node is a live authority while it is an uncaptured, unkilled base
+  // node that has started contesting.
+  bool LiveCandidate() const {
+    return is_base() && !captured_ && !dead_ && phase_ != Phase::kIdle;
+  }
+
+  void SendAwakens(Context& ctx) {
+    ctx.Send(1, Packet{kAAwaken, {}});
+    if (k_ != 1 && k_ <= n_ - 1) ctx.Send(k_, Packet{kAAwaken, {}});
+  }
+
+  void SetOwner(Port port, Id owner) {
+    has_owner_ = true;
+    owner_port_ = port;
+    owner_id_ = owner;
+  }
+
+  void SendNextCapture(Context& ctx) {
+    Port d = static_cast<Port>(level_ + 1);
+    CELECT_DCHECK(d <= n_ - 1);
+    ctx.Send(d, Packet{kACapture, {id_, level_}});
+  }
+
+  void HandleCapture(Context& ctx, Port from_port, Id sender,
+                     std::int64_t sender_level) {
+    if (!is_base() || captured_) {
+      // Passive or already-captured nodes accept freely with level 0 —
+      // their own conquests (if any) were already surrendered.
+      captured_ = true;
+      SetOwner(from_port, sender);
+      ctx.AddCounter(kCounterCaptures, 1);
+      ctx.Send(from_port, Packet{kAAccept, {0}});
+      return;
+    }
+    // Uncaptured base node (alive or killed): contest on (level, id).
+    if (Cred() < Credential{sender_level, sender}) {
+      captured_ = true;
+      SetOwner(from_port, sender);
+      ctx.AddCounter(kCounterCaptures, 1);
+      ctx.Send(from_port, Packet{kAAccept, {level_}});
+    } else {
+      ctx.AddCounter(kCounterIgnored, 1);
+      ctx.Send(from_port, Packet{kAReject, {}});
+    }
+  }
+
+  void HandleAccept(Context& ctx, std::int64_t acceptor_level) {
+    if (captured_ || dead_ || phase_ != Phase::kCapturing) return;
+    level_ += acceptor_level + 1;
+    if (level_ < k_) {
+      SendNextCapture(ctx);
+    } else {
+      EnterOwnerRound(ctx);
+    }
+  }
+
+  void EnterOwnerRound(Context& ctx) {
+    phase_ = Phase::kOwnerRound;
+    ctx.AddCounter(kCounterPhase2, 1);
+    pending_acks_ = k_;
+    for (Port d = 1; d <= k_; ++d) {
+      ctx.Send(d, Packet{kAOwner, {id_}});
+    }
+  }
+
+  void HandleOwnerAck(Context& ctx) {
+    if (captured_ || dead_ || phase_ != Phase::kOwnerRound) return;
+    if (--pending_acks_ > 0) return;
+    EnterElectRound(ctx);
+  }
+
+  void EnterElectRound(Context& ctx) {
+    phase_ = Phase::kElectRound;
+    pending_elect_ = 0;
+    // Strided targets {i[2k], i[3k], ..., i[N-k]} — empty when k ≥ N/2
+    // (the LMW86 majority case declares right after the owner round).
+    for (std::uint64_t d = 2ull * k_; d + k_ <= n_; d += k_) {
+      ctx.Send(static_cast<Port>(d), Packet{kAElect, {id_, level_}});
+      ++pending_elect_;
+    }
+    if (pending_elect_ == 0) Declare(ctx);
+  }
+
+  void HandleElect(Context& ctx, Port from_port, Id cand,
+                   std::int64_t cand_level) {
+    Credential theirs{cand_level, cand};
+    if (LiveCandidate()) {
+      // The elect reached a candidate directly: contest it here.
+      if (declared_ || Cred() > theirs) {
+        ctx.Send(from_port, Packet{kAElectReject, {}});
+      } else {
+        captured_ = true;  // killed by a stronger candidate
+        SetOwner(from_port, cand);
+        ctx.Send(from_port, Packet{kAElectAccept, {}});
+      }
+      return;
+    }
+    if (has_owner_) {
+      // Owned node: the candidate must kill our (current) owner first.
+      fwd_queue_.push_back(PendingElect{from_port, cand, cand_level});
+      PumpForward(ctx);
+      return;
+    }
+    // Unowned passive (or killed-and-unowned) node: accept.
+    SetOwner(from_port, cand);
+    ctx.Send(from_port, Packet{kAElectAccept, {}});
+  }
+
+  void PumpForward(Context& ctx) {
+    if (fwd_busy_ || fwd_queue_.empty()) return;
+    fwd_busy_ = true;
+    const PendingElect& head = fwd_queue_.front();
+    ctx.Send(owner_port_, Packet{kAFwdElect, {head.cand, head.level}});
+  }
+
+  void HandleFwdElect(Context& ctx, Port from_port, Id cand,
+                      std::int64_t cand_level) {
+    // We are the recorded owner of the forwarding node.
+    if (LiveCandidate()) {
+      if (declared_ || Cred() > Credential{cand_level, cand}) {
+        ctx.Send(from_port, Packet{kAFwdReject, {}});
+        return;
+      }
+      dead_ = true;  // the candidate killed us
+    }
+    ctx.Send(from_port, Packet{kAFwdAccept, {}});
+  }
+
+  void HandleFwdReply(Context& ctx, bool accepted) {
+    CELECT_CHECK(fwd_busy_ && !fwd_queue_.empty())
+        << "unexpected forward reply";
+    PendingElect head = fwd_queue_.front();
+    fwd_queue_.pop_front();
+    fwd_busy_ = false;
+    if (accepted) {
+      SetOwner(head.src_port, head.cand);
+      ctx.Send(head.src_port, Packet{kAElectAccept, {}});
+    } else {
+      ctx.Send(head.src_port, Packet{kAElectReject, {}});
+    }
+    PumpForward(ctx);
+  }
+
+  void HandleElectAccept(Context& ctx) {
+    if (captured_ || dead_ || phase_ != Phase::kElectRound) return;
+    if (--pending_elect_ > 0) return;
+    Declare(ctx);
+  }
+
+  void Declare(Context& ctx) {
+    phase_ = Phase::kDone;
+    declared_ = true;
+    ctx.DeclareLeader();
+  }
+
+  struct PendingElect {
+    Port src_port;
+    Id cand;
+    std::int64_t level;
+  };
+
+  const Id id_;
+  const std::uint32_t n_;
+  const std::uint32_t k_;
+  const bool awaken_neighbors_;
+
+  Phase phase_ = Phase::kIdle;
+  bool captured_ = false;
+  bool dead_ = false;
+  bool declared_ = false;
+  std::int64_t level_ = 0;
+  bool has_owner_ = false;
+  Port owner_port_ = sim::kInvalidPort;
+  Id owner_id_ = 0;
+  std::uint32_t pending_acks_ = 0;
+  std::uint32_t pending_elect_ = 0;
+  bool fwd_busy_ = false;
+  std::deque<PendingElect> fwd_queue_;
+};
+
+}  // namespace
+
+std::uint32_t DivisorNearestSqrt(std::uint32_t n) {
+  CELECT_CHECK(n >= 2);
+  std::uint32_t root =
+      static_cast<std::uint32_t>(std::lround(std::sqrt(double(n))));
+  if (root < 1) root = 1;
+  for (std::uint32_t delta = 0; delta <= n; ++delta) {
+    if (root + delta <= n && n % (root + delta) == 0) return root + delta;
+    if (root > delta && n % (root - delta) == 0) return root - delta;
+  }
+  return 1;  // unreachable: 1 divides n
+}
+
+std::uint32_t ResolveProtocolAStride(std::uint32_t n,
+                                     const ProtocolAParams& params) {
+  CELECT_CHECK(n >= 2);
+  std::uint32_t k = params.k;
+  if (k == 0) k = DivisorNearestSqrt(n);
+  if (k > n - 1) k = n - 1;
+  CELECT_CHECK(k >= 1);
+  CELECT_CHECK(n % k == 0 || 2ull * k >= n)
+      << "k=" << k << " must divide N=" << n
+      << " (or be a majority, 2k >= N) for the strided elect set";
+  return k;
+}
+
+sim::ProcessFactory MakeProtocolA(ProtocolAParams params) {
+  return [params](const sim::ProcessInit& init)
+             -> std::unique_ptr<sim::Process> {
+    std::uint32_t k = ResolveProtocolAStride(init.n, params);
+    return std::make_unique<ProtocolANode>(init, k,
+                                           params.awaken_neighbors);
+  };
+}
+
+}  // namespace celect::proto::sod

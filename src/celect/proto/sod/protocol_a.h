@@ -1,0 +1,81 @@
+// Protocol A (paper §3) — leader election with sense of direction.
+//
+// Two phases. A base node i first captures the contiguous segment
+// i[1..k] sequentially, contesting with (level, id) credentials; having
+// captured k nodes it runs the second phase: an owner round over i[1..k]
+// (set owner_j := i, acknowledged), then elect(i) messages to the strided
+// set {i[2k], i[3k], ..., i[N-k]}. A node that collects every accept
+// declares itself leader. Capturing i[2k], i[3k], … is what lets a node
+// win without capturing a majority: any rival within a stride must
+// capture one of i's strided nodes — and loses the (owner) comparison
+// there.
+//
+// Message complexity O(N + N²/k²) — O(N) for k ≥ √N. Worst-case time is
+// Θ(N) under the staggered-wakeup chain (each node wakes just before its
+// predecessor's capture arrives, so only the last node survives).
+//
+// Variant A′ (awaken_neighbors): on waking — spontaneously or by message
+// — a node sends awaken messages to i[1] and i[k]. All nodes are then
+// awake (and passive ones barred from candidacy) within O(k + N/k) time,
+// which bounds the election at O(k + N/k): O(√N) for k = √N.
+//
+// The LMW86 majority baseline is A with k = ⌈N/2⌉ (the strided elect set
+// is then empty); see lmw86.h.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::sod {
+
+// Message types (unique within the protocol).
+//
+// Deviation from the paper's terse description (see DESIGN.md): losing
+// contests are answered with explicit rejects instead of silence, and an
+// elect arriving at an owned node is forwarded over the owner-link so the
+// owner's *current* (level, id) decides — the same kill-the-owner
+// machinery the paper uses in protocols C and E. A literal reading
+// admits executions with two leaders (elect racing the owner round) or
+// none (stalled walkers blocking every elect).
+enum ProtocolAMsg : std::uint16_t {
+  kACapture = 1,       // fields: {sender_id, sender_level}
+  kAAccept = 2,        // fields: {acceptor_level_at_capture}
+  kAReject = 3,        // fields: {} — capture lost; sender is dead
+  kAOwner = 4,         // fields: {owner_id}
+  kAOwnerAck = 5,      // fields: {}
+  kAElect = 6,         // fields: {candidate_id, candidate_level}
+  kAElectAccept = 7,   // fields: {}
+  kAElectReject = 8,   // fields: {}
+  kAFwdElect = 9,      // fields: {candidate_id, candidate_level}
+  kAFwdAccept = 10,    // fields: {}
+  kAFwdReject = 11,    // fields: {}
+  kAAwaken = 12,       // fields: {} (A′ only)
+};
+
+struct ProtocolAParams {
+  // Capture-segment length. 0 picks the divisor of N closest to √N.
+  // Must divide N or be ≥ ⌈N/2⌉ (so the strided set stays exact/empty).
+  std::uint32_t k = 0;
+  // A′: propagate awaken messages to i[1] and i[k] on wakeup.
+  bool awaken_neighbors = false;
+};
+
+// Resolves k = 0 to the default stride and validates the choice for N.
+std::uint32_t ResolveProtocolAStride(std::uint32_t n,
+                                     const ProtocolAParams& params);
+
+// Divisor of n closest to sqrt(n) (ties toward the larger divisor).
+std::uint32_t DivisorNearestSqrt(std::uint32_t n);
+
+sim::ProcessFactory MakeProtocolA(ProtocolAParams params = {});
+
+// Per-run counters exposed via RunResult::counters:
+//   "a.captures"        — successful captures (accepts sent)
+//   "a.ignored"         — capture messages ignored by a stronger node
+//   "a.candidates_p2"   — candidates that entered the second phase
+inline constexpr char kCounterCaptures[] = "a.captures";
+inline constexpr char kCounterIgnored[] = "a.ignored";
+inline constexpr char kCounterPhase2[] = "a.candidates_p2";
+
+}  // namespace celect::proto::sod

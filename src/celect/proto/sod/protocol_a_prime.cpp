@@ -1,0 +1,14 @@
+#include "celect/proto/sod/protocol_a_prime.h"
+
+#include "celect/proto/sod/protocol_a.h"
+
+namespace celect::proto::sod {
+
+sim::ProcessFactory MakeProtocolAPrime(std::uint32_t k) {
+  ProtocolAParams params;
+  params.k = k;
+  params.awaken_neighbors = true;
+  return MakeProtocolA(params);
+}
+
+}  // namespace celect::proto::sod

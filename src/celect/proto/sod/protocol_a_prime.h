@@ -1,0 +1,21 @@
+// Protocol A′ (paper §3) — protocol A plus the awaken wave.
+//
+// A's weakness is the staggered-wakeup chain: if node i[1] wakes just
+// before node i's capture arrives, every capture by a smaller identity
+// is contested away and the eventual winner wakes Θ(N) time late. A′
+// has every node, on waking (spontaneously or by message), awaken i[1]
+// and i[k]; all nodes are then awake — and passive nodes barred from
+// candidacy — within O(k + N/k) time, so the protocol runs in
+// O(k + N/k) time and O(N) messages: O(√N) time at k = √N.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::sod {
+
+// k = 0 picks the divisor of N closest to √N.
+sim::ProcessFactory MakeProtocolAPrime(std::uint32_t k = 0);
+
+}  // namespace celect::proto::sod

@@ -1,0 +1,112 @@
+#include "celect/proto/sod/protocol_b.h"
+
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/topo/ring_math.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::sod {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+class ProtocolBNode : public ElectionProcess {
+ public:
+  explicit ProtocolBNode(const sim::ProcessInit& init)
+      : id_(init.id), n_(init.n) {
+    CELECT_CHECK((n_ & (n_ - 1)) == 0) << "protocol B assumes N = 2^r";
+    rounds_ = topo::RingMath::FloorLog2(n_);
+  }
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    step_ = 1;
+    SendStep(ctx);
+  }
+
+  void OnPacket(Context& ctx, Port from_port, const Packet& p,
+                bool /*first_contact*/) override {
+    switch (p.type) {
+      case kBCapture:
+        HandleCapture(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kBAccept:
+        HandleAccept(ctx);
+        break;
+      case kBReject:
+        dead_ = true;
+        break;
+      default:
+        CELECT_CHECK(false) << "protocol B: unknown message type "
+                            << p.type;
+    }
+  }
+
+ private:
+  Credential Cred() const { return Credential{step_, id_}; }
+
+  bool Live() const {
+    return is_base() && step_ > 0 && !dead_ && !captured_;
+  }
+
+  // Step l captures the 2^(l-1) nodes at odd multiples of N/2^l.
+  void SendStep(Context& ctx) {
+    const std::uint32_t gap = n_ >> step_;  // N / 2^step
+    pending_ = 0;
+    for (std::uint32_t m = 1; m * gap < n_; m += 2) {
+      ctx.Send(static_cast<Port>(m * gap),
+               Packet{kBCapture, {id_, step_}});
+      ++pending_;
+    }
+    CELECT_DCHECK(pending_ == (1u << (step_ - 1)));
+  }
+
+  void HandleCapture(Context& ctx, Port from_port, Id sender,
+                     std::int64_t sender_step) {
+    if (!Live()) {
+      ctx.Send(from_port, Packet{kBAccept, {}});
+      return;
+    }
+    if (Cred() < Credential{sender_step, sender}) {
+      captured_ = true;
+      ctx.Send(from_port, Packet{kBAccept, {}});
+    } else {
+      ctx.Send(from_port, Packet{kBReject, {}});
+    }
+  }
+
+  void HandleAccept(Context& ctx) {
+    if (!Live()) return;
+    if (--pending_ > 0) return;
+    if (static_cast<std::uint32_t>(step_) == rounds_) {
+      ctx.DeclareLeader();
+      return;
+    }
+    ++step_;
+    SendStep(ctx);
+  }
+
+  const Id id_;
+  const std::uint32_t n_;
+  std::uint32_t rounds_ = 0;
+
+  std::int64_t step_ = 0;  // 0 = not a candidate yet
+  bool captured_ = false;
+  bool dead_ = false;
+  std::uint32_t pending_ = 0;
+};
+
+}  // namespace
+
+sim::ProcessFactory MakeProtocolB() {
+  return [](const sim::ProcessInit& init) {
+    return std::make_unique<ProtocolBNode>(init);
+  };
+}
+
+}  // namespace celect::proto::sod

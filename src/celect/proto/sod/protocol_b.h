@@ -1,0 +1,27 @@
+// Protocol B (paper §3) — asynchronous doubling election, with sense of
+// direction. Requires N = 2^r.
+//
+// A candidate captures all other nodes in log N steps: step 1 captures
+// i[N/2]; step l captures the 2^(l-1) nodes i[N/2^l], i[3N/2^l], ...,
+// i[(2^l - 1)·N/2^l]. Contests compare (step, id): since i and i[N/2]
+// attack each other in step 1, at most one of them reaches step 2, and in
+// general at most N/2^l candidates survive step l. O(log N) time but
+// O(N log N) messages — protocol C embeds this doubling into a stride to
+// get the message bound down to O(N).
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::sod {
+
+enum ProtocolBMsg : std::uint16_t {
+  kBCapture = 1,  // fields: {candidate_id, step}
+  kBAccept = 2,   // fields: {}
+  kBReject = 3,   // fields: {}
+};
+
+sim::ProcessFactory MakeProtocolB();
+
+}  // namespace celect::proto::sod

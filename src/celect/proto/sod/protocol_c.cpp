@@ -1,0 +1,266 @@
+#include "celect/proto/sod/protocol_c.h"
+
+#include <deque>
+#include <memory>
+
+#include "celect/proto/common.h"
+#include "celect/topo/ring_math.h"
+#include "celect/util/check.h"
+
+namespace celect::proto::sod {
+
+namespace {
+
+using sim::Context;
+using sim::Id;
+using sim::Port;
+using wire::Packet;
+
+class ProtocolCNode : public ElectionProcess {
+ public:
+  explicit ProtocolCNode(const sim::ProcessInit& init)
+      : id_(init.id), n_(init.n) {
+    CELECT_CHECK(n_ >= 4 && (n_ & (n_ - 1)) == 0)
+        << "protocol C assumes N = 2^r, N >= 4";
+    k_ = topo::RingMath::ProtocolCStride(n_);
+    class_size_ = n_ / k_;
+    doubling_rounds_ = topo::RingMath::FloorLog2(k_);
+  }
+
+ protected:
+  void OnSpontaneousWakeup(Context& ctx) override {
+    phase_ = Phase::kClassWalk;
+    SendNextCapture(ctx);
+  }
+
+  void OnPacket(Context& ctx, Port from_port, const Packet& p,
+                bool /*first_contact*/) override {
+    switch (p.type) {
+      case kCCapture:
+        HandleCapture(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kCCaptAccept:
+        HandleCaptAccept(ctx, p.field(0));
+        break;
+      case kCCaptReject:
+        if (phase_ == Phase::kClassWalk) dead_ = true;
+        break;
+      case kCOwner:
+        SetOwner(from_port, p.field(0));
+        ctx.Send(from_port, Packet{kCOwnerAck, {}});
+        break;
+      case kCOwnerAck:
+        HandleOwnerAck(ctx);
+        break;
+      case kCElect:
+        HandleElect(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kCElectAccept:
+        HandleElectAccept(ctx);
+        break;
+      case kCElectReject:
+        if (phase_ == Phase::kDoubling) dead_ = true;
+        break;
+      case kCFwd:
+        HandleFwd(ctx, from_port, p.field(0), p.field(1));
+        break;
+      case kCFwdAccept:
+        HandleFwdReply(ctx, /*accepted=*/true);
+        break;
+      case kCFwdReject:
+        HandleFwdReply(ctx, /*accepted=*/false);
+        break;
+      default:
+        CELECT_CHECK(false) << "protocol C: unknown message type "
+                            << p.type;
+    }
+  }
+
+ private:
+  enum class Phase { kIdle, kClassWalk, kOwnerRound, kDoubling, kDone };
+
+  bool Live() const {
+    return is_base() && !captured_ && !dead_ && phase_ != Phase::kIdle;
+  }
+
+  void SetOwner(Port port, Id owner) {
+    has_owner_ = true;
+    owner_port_ = port;
+    owner_id_ = owner;
+  }
+
+  // ---- Phase 1: class walk -------------------------------------------
+
+  void SendNextCapture(Context& ctx) {
+    std::uint64_t d = static_cast<std::uint64_t>(level_ + 1) * k_;
+    CELECT_DCHECK(d <= n_ - k_);
+    ctx.Send(static_cast<Port>(d), Packet{kCCapture, {id_, level_}});
+  }
+
+  void HandleCapture(Context& ctx, Port from_port, Id sender,
+                     std::int64_t sender_level) {
+    if (!is_base() || captured_) {
+      captured_ = true;
+      SetOwner(from_port, sender);
+      ctx.Send(from_port, Packet{kCCaptAccept, {0}});
+      return;
+    }
+    if (Credential{level_, id_} < Credential{sender_level, sender}) {
+      captured_ = true;
+      SetOwner(from_port, sender);
+      // Surrender: the winner extends its captures by ours (level_ class
+      // mates forward of us).
+      ctx.Send(from_port, Packet{kCCaptAccept, {level_}});
+    } else {
+      ctx.Send(from_port, Packet{kCCaptReject, {}});
+    }
+  }
+
+  void HandleCaptAccept(Context& ctx, std::int64_t acceptor_level) {
+    if (captured_ || dead_ || phase_ != Phase::kClassWalk) return;
+    level_ += acceptor_level + 1;
+    if (level_ < static_cast<std::int64_t>(class_size_) - 1) {
+      SendNextCapture(ctx);
+    } else {
+      EnterOwnerRound(ctx);
+    }
+  }
+
+  // ---- Phase 2a: class ownership update ------------------------------
+
+  void EnterOwnerRound(Context& ctx) {
+    phase_ = Phase::kOwnerRound;
+    ctx.AddCounter(kCounterClassWinners, 1);
+    pending_ = class_size_ - 1;
+    for (std::uint64_t d = k_; d + k_ <= n_; d += k_) {
+      ctx.Send(static_cast<Port>(d), Packet{kCOwner, {id_}});
+    }
+  }
+
+  void HandleOwnerAck(Context& ctx) {
+    if (captured_ || dead_ || phase_ != Phase::kOwnerRound) return;
+    if (--pending_ > 0) return;
+    step_ = 1;
+    phase_ = Phase::kDoubling;
+    SendDoublingStep(ctx);
+  }
+
+  // ---- Phase 2b: doubling over i[1..k-1] -----------------------------
+
+  void SendDoublingStep(Context& ctx) {
+    const std::uint32_t gap = k_ >> step_;  // k / 2^step
+    CELECT_DCHECK(gap >= 1);
+    pending_ = 0;
+    for (std::uint32_t m = 1; m * gap < k_; m += 2) {
+      ctx.Send(static_cast<Port>(m * gap), Packet{kCElect, {id_, step_}});
+      ++pending_;
+    }
+    CELECT_DCHECK(pending_ == (1u << (step_ - 1)));
+  }
+
+  void HandleElect(Context& ctx, Port from_port, Id cand,
+                   std::int64_t cand_step) {
+    Credential theirs{cand_step, cand};
+    if (Live()) {
+      // Reached a candidate directly (a class authority — possibly still
+      // in its class walk, in which case its step of 0 loses).
+      if (declared_ || Credential{step_, id_} > theirs) {
+        ctx.Send(from_port, Packet{kCElectReject, {}});
+      } else {
+        captured_ = true;
+        SetOwner(from_port, cand);
+        ctx.Send(from_port, Packet{kCElectAccept, {}});
+      }
+      return;
+    }
+    if (has_owner_) {
+      fwd_queue_.push_back(PendingElect{from_port, cand, cand_step});
+      PumpForward(ctx);
+      return;
+    }
+    SetOwner(from_port, cand);
+    ctx.Send(from_port, Packet{kCElectAccept, {}});
+  }
+
+  void PumpForward(Context& ctx) {
+    if (fwd_busy_ || fwd_queue_.empty()) return;
+    fwd_busy_ = true;
+    const PendingElect& head = fwd_queue_.front();
+    ctx.Send(owner_port_, Packet{kCFwd, {head.cand, head.step}});
+  }
+
+  void HandleFwd(Context& ctx, Port from_port, Id cand,
+                 std::int64_t cand_step) {
+    if (Live()) {
+      if (declared_ || Credential{step_, id_} > Credential{cand_step, cand}) {
+        ctx.Send(from_port, Packet{kCFwdReject, {}});
+        return;
+      }
+      dead_ = true;  // killed through one of our captured nodes
+    }
+    ctx.Send(from_port, Packet{kCFwdAccept, {}});
+  }
+
+  void HandleFwdReply(Context& ctx, bool accepted) {
+    CELECT_CHECK(fwd_busy_ && !fwd_queue_.empty())
+        << "unexpected forward reply";
+    PendingElect head = fwd_queue_.front();
+    fwd_queue_.pop_front();
+    fwd_busy_ = false;
+    if (accepted) {
+      SetOwner(head.src_port, head.cand);
+      ctx.Send(head.src_port, Packet{kCElectAccept, {}});
+    } else {
+      ctx.Send(head.src_port, Packet{kCElectReject, {}});
+    }
+    PumpForward(ctx);
+  }
+
+  void HandleElectAccept(Context& ctx) {
+    if (captured_ || dead_ || phase_ != Phase::kDoubling) return;
+    if (--pending_ > 0) return;
+    if (static_cast<std::uint32_t>(step_) == doubling_rounds_) {
+      phase_ = Phase::kDone;
+      declared_ = true;
+      ctx.DeclareLeader();
+      return;
+    }
+    ++step_;
+    SendDoublingStep(ctx);
+  }
+
+  struct PendingElect {
+    Port src_port;
+    Id cand;
+    std::int64_t step;
+  };
+
+  const Id id_;
+  const std::uint32_t n_;
+  std::uint32_t k_ = 0;               // stride (≈ N/log N)
+  std::uint32_t class_size_ = 0;      // N/k (≈ log N)
+  std::uint32_t doubling_rounds_ = 0; // log2 k
+
+  Phase phase_ = Phase::kIdle;
+  bool captured_ = false;
+  bool dead_ = false;
+  bool declared_ = false;
+  std::int64_t level_ = 0;  // class mates captured (phase 1)
+  std::int64_t step_ = 0;   // doubling step (phase 2)
+  bool has_owner_ = false;
+  Port owner_port_ = sim::kInvalidPort;
+  Id owner_id_ = 0;
+  std::uint32_t pending_ = 0;
+  bool fwd_busy_ = false;
+  std::deque<PendingElect> fwd_queue_;
+};
+
+}  // namespace
+
+sim::ProcessFactory MakeProtocolC() {
+  return [](const sim::ProcessInit& init) {
+    return std::make_unique<ProtocolCNode>(init);
+  };
+}
+
+}  // namespace celect::proto::sod

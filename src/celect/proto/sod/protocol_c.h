@@ -1,0 +1,49 @@
+// Protocol C (paper §3) — the headline sense-of-direction result:
+// O(N) messages and O(log N) time. Requires N = 2^r.
+//
+// Let k = N / 2^⌈log log N⌉ (≈ N/log N, a power of two). Using i as
+// reference, positions split into k residue classes R_j = {i[j], i[j+k],
+// i[j+2k], ...} of size N/k ≈ log N each.
+//
+// Phase 1 — class walk: a base node captures its residue mates i[k],
+// i[2k], ..., i[N-k] sequentially with protocol A's (level, id) contest
+// rules (including surrender of a loser's captures). A node competes
+// only with its ≈log N class mates, so this phase takes O(log N) time
+// and O(N) messages, and leaves at most one candidate per class — at
+// most k ≈ N/log N candidates.
+//
+// Phase 2 — doubling across classes: the survivor updates ownership of
+// its class, then captures i[1..k-1] in log k steps (step l targets the
+// odd multiples of k/2^l), contesting on (step, id). An elect reaching
+// a captured node is forwarded to the node's current owner — the class
+// authority — which must be killed before the node is claimed. Step-l
+// survivors number at most k/2^l, each sending 2^(l-1) messages, so the
+// phase costs O(N) messages and O(log N) time.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+
+namespace celect::proto::sod {
+
+enum ProtocolCMsg : std::uint16_t {
+  kCCapture = 1,      // fields: {id, level} — phase-1 class walk
+  kCCaptAccept = 2,   // fields: {acceptor_level}
+  kCCaptReject = 3,   // fields: {}
+  kCOwner = 4,        // fields: {id}
+  kCOwnerAck = 5,     // fields: {}
+  kCElect = 6,        // fields: {id, step} — phase-2 doubling
+  kCElectAccept = 7,  // fields: {}
+  kCElectReject = 8,  // fields: {}
+  kCFwd = 9,          // fields: {id, step} — forwarded to the owner
+  kCFwdAccept = 10,   // fields: {}
+  kCFwdReject = 11,   // fields: {}
+};
+
+sim::ProcessFactory MakeProtocolC();
+
+// Counters in RunResult::counters.
+inline constexpr char kCounterClassWinners[] = "c.class_winners";
+
+}  // namespace celect::proto::sod

@@ -1,0 +1,33 @@
+#include "celect/sim/delay_model.h"
+
+#include "celect/util/check.h"
+
+namespace celect::sim {
+
+RandomDelayModel::RandomDelayModel(std::uint64_t seed, double min_transit,
+                                   double max_spacing)
+    : rng_(seed), min_transit_(min_transit), max_spacing_(max_spacing) {
+  CELECT_CHECK(min_transit >= 0.0 && min_transit < 1.0);
+  CELECT_CHECK(max_spacing >= 0.0 && max_spacing <= 1.0);
+}
+
+DelayDecision RandomDelayModel::Decide(const MessageInfo&) {
+  double transit =
+      min_transit_ + (1.0 - min_transit_) * rng_.NextPositiveDouble();
+  double spacing = max_spacing_ * rng_.NextDouble();
+  return {Time::FromDouble(transit), Time::FromDouble(spacing)};
+}
+
+std::unique_ptr<DelayModel> MakeUnitDelay() {
+  return std::make_unique<UnitDelayModel>();
+}
+
+std::unique_ptr<DelayModel> MakeEagerDelay() {
+  return std::make_unique<EagerDelayModel>();
+}
+
+std::unique_ptr<DelayModel> MakeRandomDelay(std::uint64_t seed) {
+  return std::make_unique<RandomDelayModel>(seed);
+}
+
+}  // namespace celect::sim

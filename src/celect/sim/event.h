@@ -1,0 +1,49 @@
+// Simulation events.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+#include "celect/wire/packet.h"
+
+namespace celect::sim {
+
+// A base node waking up spontaneously.
+struct WakeupEvent {
+  NodeId node;
+};
+
+// A packet arriving at `to` on local port `arrival_port`.
+struct DeliveryEvent {
+  NodeId from;
+  NodeId to;
+  Port arrival_port;
+  wire::Packet packet;
+};
+
+// A node crashing (used by failure-injection tests; initial failures are
+// modelled by never scheduling the node instead).
+struct CrashEvent {
+  NodeId node;
+};
+
+struct Event {
+  Time at;
+  // Monotone sequence number; breaks ties so the queue is a deterministic
+  // total order and simultaneously-scheduled events run in schedule order.
+  std::uint64_t seq = 0;
+  std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body;
+};
+
+// Strict-weak ordering for the event queue: earliest time first, then
+// lowest sequence number.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace celect::sim

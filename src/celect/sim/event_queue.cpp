@@ -1,0 +1,26 @@
+#include "celect/sim/event_queue.h"
+
+#include "celect/util/check.h"
+
+namespace celect::sim {
+
+std::uint64_t EventQueue::Push(
+    Time at, std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body) {
+  std::uint64_t seq = next_seq_++;
+  heap_.push(Event{at, seq, std::move(body)});
+  return seq;
+}
+
+std::optional<Event> EventQueue::Pop() {
+  if (heap_.empty()) return std::nullopt;
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+Time EventQueue::PeekTime() const {
+  CELECT_CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+}  // namespace celect::sim

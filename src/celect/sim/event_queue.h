@@ -1,0 +1,38 @@
+// Deterministic priority event queue.
+//
+// A thin wrapper over a binary heap that stamps every pushed event with a
+// monotone sequence number, guaranteeing a total, reproducible order even
+// among events scheduled for the same instant.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "celect/sim/event.h"
+
+namespace celect::sim {
+
+class EventQueue {
+ public:
+  // Schedules `body` at absolute time `at`. Returns the sequence number
+  // assigned to the event.
+  std::uint64_t Push(Time at,
+                     std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body);
+
+  // Pops the earliest event; nullopt when empty.
+  std::optional<Event> Pop();
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+  // Earliest scheduled time (queue must be non-empty).
+  Time PeekTime() const;
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace celect::sim

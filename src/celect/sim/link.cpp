@@ -1,0 +1,48 @@
+#include "celect/sim/link.h"
+
+#include <algorithm>
+
+#include "celect/util/check.h"
+
+namespace celect::sim {
+
+Time LinkTable::Admit(NodeId from, NodeId to, Time send_time,
+                      const DelayDecision& d) {
+  CELECT_DCHECK(from < n_ && to < n_ && from != to);
+  CELECT_CHECK(d.transit > Time::Zero()) << "transit delay must be positive";
+  CELECT_CHECK(d.transit <= kUnit) << "transit delay exceeds one unit";
+  CELECT_CHECK(d.spacing >= Time::Zero() && d.spacing <= kUnit)
+      << "spacing outside [0, 1]";
+  State& s = state_[Key(from, to)];
+  Time arrival = send_time + d.transit;
+  if (s.sent > 0) {
+    arrival = std::max(arrival, s.last_arrival + d.spacing);
+  }
+  // FIFO: never earlier than the previous arrival.
+  arrival = std::max(arrival, s.last_arrival);
+  s.last_arrival = arrival;
+  ++s.sent;
+  ++s.inflight;
+  max_load_ = std::max(max_load_, s.sent);
+  max_inflight_ = std::max(max_inflight_, s.inflight);
+  return arrival;
+}
+
+void LinkTable::NotifyDelivered(NodeId from, NodeId to) {
+  auto it = state_.find(Key(from, to));
+  CELECT_CHECK(it != state_.end() && it->second.inflight > 0)
+      << "delivery on a link with nothing in flight";
+  --it->second.inflight;
+}
+
+std::uint64_t LinkTable::SentCount(NodeId from, NodeId to) const {
+  auto it = state_.find(Key(from, to));
+  return it == state_.end() ? 0 : it->second.sent;
+}
+
+Time LinkTable::LastArrival(NodeId from, NodeId to) const {
+  auto it = state_.find(Key(from, to));
+  return it == state_.end() ? Time::Zero() : it->second.last_arrival;
+}
+
+}  // namespace celect::sim

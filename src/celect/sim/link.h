@@ -1,0 +1,66 @@
+// FIFO directed-link bookkeeping.
+//
+// Links are bidirectional in the model, but FIFO order is per direction;
+// LinkTable tracks, for each directed pair that has actually carried
+// traffic, the arrival time of the last message and the count of messages
+// sent, and computes arrival times that respect FIFO and the delay
+// model's spacing choices. Storage is a hash map so memory is
+// O(messages), not O(N²).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "celect/sim/delay_model.h"
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+
+namespace celect::sim {
+
+class LinkTable {
+ public:
+  explicit LinkTable(std::uint32_t n) : n_(n) {}
+
+  // Computes the arrival time for a message sent at `send_time` from
+  // `from` to `to` with the given delay decision, updates FIFO state, and
+  // returns the arrival time. CHECKs that the result never reorders the
+  // link.
+  Time Admit(NodeId from, NodeId to, Time send_time,
+             const DelayDecision& d);
+
+  // Messages sent so far on the directed link from→to.
+  std::uint64_t SentCount(NodeId from, NodeId to) const;
+
+  // Arrival time of the most recent message on from→to (Zero if none).
+  Time LastArrival(NodeId from, NodeId to) const;
+
+  // The runtime reports each delivery so in-flight counts stay accurate.
+  void NotifyDelivered(NodeId from, NodeId to);
+
+  // The largest per-directed-link message count seen (congestion metric).
+  std::uint64_t MaxLinkLoad() const { return max_load_; }
+
+  // The largest number of messages simultaneously in flight on one
+  // directed link — the congestion the Ɛ throttle bounds (paper §4: a
+  // node may otherwise have Θ(N) forwarded messages serialised on its
+  // owner link).
+  std::uint64_t MaxLinkInflight() const { return max_inflight_; }
+
+ private:
+  struct State {
+    Time last_arrival = Time::Zero();
+    std::uint64_t sent = 0;
+    std::uint64_t inflight = 0;
+  };
+
+  std::uint64_t Key(NodeId from, NodeId to) const {
+    return static_cast<std::uint64_t>(from) * n_ + to;
+  }
+
+  std::uint32_t n_;
+  std::unordered_map<std::uint64_t, State> state_;
+  std::uint64_t max_load_ = 0;
+  std::uint64_t max_inflight_ = 0;
+};
+
+}  // namespace celect::sim

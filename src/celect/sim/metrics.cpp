@@ -1,0 +1,39 @@
+#include "celect/sim/metrics.h"
+
+#include <algorithm>
+
+namespace celect::sim {
+
+void Metrics::RecordSend(std::uint16_t type, std::size_t bytes) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  ++by_type_[type];
+}
+
+void Metrics::RecordDelivery() { ++messages_delivered_; }
+
+void Metrics::RecordDrop() { ++messages_dropped_; }
+
+void Metrics::RecordLeader(NodeId node, Id id, Time at) {
+  if (leader_declarations_ == 0) {
+    leader_node_ = node;
+    leader_id_ = id;
+    first_leader_time_ = at;
+  }
+  ++leader_declarations_;
+}
+
+void Metrics::AddCounter(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+void Metrics::MaxCounter(const std::string& name, std::int64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_[name] = value;
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+}  // namespace celect::sim

@@ -1,0 +1,53 @@
+// Run accounting: message counts, bytes on the wire, per-type breakdown,
+// leader declarations, and protocol-specific counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+
+namespace celect::sim {
+
+class Metrics {
+ public:
+  void RecordSend(std::uint16_t type, std::size_t bytes);
+  void RecordDelivery();
+  void RecordDrop();  // message to a failed node
+  void RecordLeader(NodeId node, Id id, Time at);
+  void AddCounter(const std::string& name, std::int64_t delta);
+  void MaxCounter(const std::string& name, std::int64_t value);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const std::map<std::uint16_t, std::uint64_t>& by_type() const {
+    return by_type_;
+  }
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+
+  std::uint32_t leader_declarations() const { return leader_declarations_; }
+  std::optional<NodeId> leader_node() const { return leader_node_; }
+  std::optional<Id> leader_id() const { return leader_id_; }
+  Time first_leader_time() const { return first_leader_time_; }
+
+ private:
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::map<std::uint16_t, std::uint64_t> by_type_;
+  std::map<std::string, std::int64_t> counters_;
+  std::uint32_t leader_declarations_ = 0;
+  std::optional<NodeId> leader_node_;
+  std::optional<Id> leader_id_;
+  Time first_leader_time_ = Time::Zero();
+};
+
+}  // namespace celect::sim

@@ -1,0 +1,40 @@
+// Network configuration: everything about the environment a protocol
+// runs in, separate from the protocol itself.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "celect/sim/delay_model.h"
+#include "celect/sim/port_mapper.h"
+#include "celect/sim/types.h"
+#include "celect/sim/wakeup_policy.h"
+#include "celect/util/rng.h"
+
+namespace celect::sim {
+
+struct NetworkConfig {
+  std::uint32_t n = 0;
+  // identities[address] — unique values; protocols only ever compare
+  // these. Empty means "ascending" (address + 1).
+  std::vector<Id> identities;
+  std::unique_ptr<PortMapper> mapper;
+  std::unique_ptr<DelayModel> delays;
+  WakeupPlan wakeup;
+  // failed[address]: initially-crashed nodes — they never wake and every
+  // message to them vanishes. Empty means no failures.
+  std::vector<bool> failed;
+};
+
+// Identity assignments.
+std::vector<Id> IdentitiesAscending(std::uint32_t n);      // addr + 1
+std::vector<Id> IdentitiesRandom(std::uint32_t n, Rng& rng);
+// Sparse identities (spread over a large range) — exercises the
+// assumption that protocols compare, never index by, identity.
+std::vector<Id> IdentitiesSparse(std::uint32_t n, Rng& rng);
+
+// Validates a config (sizes, uniqueness of identities) — CHECK-fails on
+// structural errors; call before Runtime construction in tests.
+void ValidateConfig(const NetworkConfig& config);
+
+}  // namespace celect::sim

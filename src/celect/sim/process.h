@@ -1,0 +1,92 @@
+// The protocol-facing API.
+//
+// A Process is one protocol instance running at one node. It sees only
+// what the model allows: its own identity, N, local port numbers, and the
+// packets that arrive. It cannot read neighbour identities off a port —
+// learning them costs messages, which is the whole game.
+//
+// Processes are purely message-driven (the paper's protocols use no
+// timeouts): the runtime calls OnWakeup for spontaneous wakeups of base
+// nodes and OnMessage for deliveries. Passive nodes receive OnMessage
+// without ever getting OnWakeup — the paper's "wakes up on receiving a
+// message of the protocol".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+#include "celect/wire/packet.h"
+
+namespace celect::sim {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // Internal address — for debugging/tracing only; protocols must not
+  // base decisions on it (identities are the only comparable values).
+  virtual NodeId address() const = 0;
+  virtual Id id() const = 0;
+  virtual std::uint32_t n() const = 0;
+  virtual Time now() const = 0;
+  virtual bool has_sense_of_direction() const = 0;
+
+  // Sends on a specific port. Under sense of direction, port d is the
+  // edge to the node at Hamiltonian distance d, so this doubles as
+  // "send to i[d]".
+  virtual void Send(Port port, wire::Packet p) = 0;
+
+  // Sends on some untraversed port (mapper policy — possibly adversarial
+  // — picks which). Returns the port used, or nullopt when every
+  // incident edge is already traversed.
+  virtual std::optional<Port> SendFresh(wire::Packet p) = 0;
+
+  // Sends on all N-1 ports (protocol D's broadcast).
+  virtual void SendAll(wire::Packet p) = 0;
+
+  // Announces this node as the leader. The runtime records every
+  // declaration; the single-leader invariant is checked by callers.
+  virtual void DeclareLeader() = 0;
+
+  // Protocol-specific counters surfaced in RunResult (e.g. max forwarded
+  // messages in flight). Monotonic add.
+  virtual void AddCounter(std::string_view name, std::int64_t delta) = 0;
+  // Keeps the running max of a protocol-specific gauge.
+  virtual void MaxCounter(std::string_view name, std::int64_t value) = 0;
+
+  std::uint32_t port_count() const { return n() - 1; }
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Spontaneous wakeup (this node is a base node).
+  virtual void OnWakeup(Context& ctx) = 0;
+
+  // A packet arrived on `from_port`. Replies go back on the same port.
+  virtual void OnMessage(Context& ctx, Port from_port,
+                         const wire::Packet& p) = 0;
+
+  // Human-readable snapshot of protocol state, for post-mortems and
+  // debugging tools. Optional.
+  virtual std::string DescribeState() const { return ""; }
+};
+
+// Builds the process for the node with the given address/identity.
+struct ProcessInit {
+  NodeId address;
+  Id id;
+  std::uint32_t n;
+};
+
+using ProcessFactory =
+    std::function<std::unique_ptr<Process>(const ProcessInit&)>;
+
+}  // namespace celect::sim

@@ -1,0 +1,177 @@
+#include "celect/sim/runtime.h"
+
+#include <string>
+
+#include "celect/util/check.h"
+#include "celect/wire/packet_codec.h"
+
+namespace celect::sim {
+
+// Context handed to a process for the duration of one event dispatch.
+class Runtime::ContextImpl : public Context {
+ public:
+  ContextImpl(Runtime& rt, NodeId node) : rt_(rt), node_(node) {}
+
+  NodeId address() const override { return node_; }
+  Id id() const override { return rt_.ids_[node_]; }
+  std::uint32_t n() const override { return rt_.config_.n; }
+  Time now() const override { return rt_.now_; }
+  bool has_sense_of_direction() const override {
+    return rt_.config_.mapper->HasSenseOfDirection();
+  }
+
+  void Send(Port port, wire::Packet p) override {
+    rt_.SendFrom(node_, port, std::move(p));
+  }
+
+  std::optional<Port> SendFresh(wire::Packet p) override {
+    auto port = rt_.config_.mapper->FreshPort(node_);
+    if (!port) return std::nullopt;
+    rt_.SendFrom(node_, *port, std::move(p));
+    return port;
+  }
+
+  void SendAll(wire::Packet p) override {
+    for (Port port = 1; port <= n() - 1; ++port) {
+      rt_.SendFrom(node_, port, p);
+    }
+  }
+
+  void DeclareLeader() override {
+    rt_.metrics_.RecordLeader(node_, id(), rt_.now_);
+    rt_.trace_.Record({TraceRecord::Kind::kLeader, rt_.now_, node_, node_,
+                       kInvalidPort, 0, 0});
+    if (rt_.options_.stop_on_leader) rt_.stop_requested_ = true;
+  }
+
+  void AddCounter(std::string_view name, std::int64_t delta) override {
+    rt_.metrics_.AddCounter(std::string(name), delta);
+  }
+
+  void MaxCounter(std::string_view name, std::int64_t value) override {
+    rt_.metrics_.MaxCounter(std::string(name), value);
+  }
+
+ private:
+  Runtime& rt_;
+  NodeId node_;
+};
+
+Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
+                 RuntimeOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      links_(config_.n),
+      trace_(options.enable_trace) {
+  CELECT_CHECK(config_.n >= 2);
+  CELECT_CHECK(config_.mapper && config_.delays);
+  ids_ = config_.identities.empty() ? IdentitiesAscending(config_.n)
+                                    : config_.identities;
+  CELECT_CHECK(ids_.size() == config_.n);
+  processes_.reserve(config_.n);
+  for (NodeId i = 0; i < config_.n; ++i) {
+    processes_.push_back(factory(ProcessInit{i, ids_[i], config_.n}));
+    CELECT_CHECK(processes_.back() != nullptr);
+  }
+  for (const auto& [node, at] : config_.wakeup.wakeups) {
+    queue_.Push(at, WakeupEvent{node});
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Process& Runtime::process(NodeId address) {
+  CELECT_CHECK(address < processes_.size());
+  return *processes_[address];
+}
+
+void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
+  CELECT_CHECK(port >= 1 && port <= config_.n - 1)
+      << "node " << from << " sent on invalid port " << port;
+  PortMapper& mapper = *config_.mapper;
+  NodeId to = mapper.Resolve(from, port);
+  CELECT_DCHECK(to != from);
+  mapper.MarkTraversed(from, port);
+
+  std::size_t bytes;
+  if (options_.serialize_packets) {
+    // Round-trip through the codec: catches any packet the wire format
+    // cannot represent, and measures true on-the-wire size.
+    auto encoded = wire::Encode(packet);
+    bytes = encoded.size();
+    auto decoded = wire::Decode(encoded);
+    CELECT_CHECK(decoded.has_value() && *decoded == packet)
+        << "codec round-trip failed for " << wire::ToString(packet);
+  } else {
+    bytes = wire::EncodedSize(packet);
+  }
+  metrics_.RecordSend(packet.type, bytes);
+  trace_.Record({TraceRecord::Kind::kSend, now_, from, to, port,
+                 packet.type, 0});
+
+  if (!config_.failed.empty() && config_.failed[to]) {
+    metrics_.RecordDrop();
+    return;  // crashed nodes silently eat messages
+  }
+
+  const MessageInfo info{from, to, now_, links_.SentCount(from, to),
+                         &packet};
+  DelayDecision d = config_.delays->Decide(info);
+  Time arrival = links_.Admit(from, to, now_, d);
+  Port arrival_port = mapper.PortToward(to, from);
+  queue_.Push(arrival, DeliveryEvent{from, to, arrival_port,
+                                     std::move(packet)});
+}
+
+void Runtime::Dispatch(const Event& e) {
+  now_ = e.at;
+  if (const auto* w = std::get_if<WakeupEvent>(&e.body)) {
+    trace_.Record({TraceRecord::Kind::kWakeup, now_, w->node, w->node,
+                   kInvalidPort, 0, 0});
+    ContextImpl ctx(*this, w->node);
+    processes_[w->node]->OnWakeup(ctx);
+  } else if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
+    links_.NotifyDelivered(d->from, d->to);
+    config_.mapper->MarkTraversed(d->to, d->arrival_port);
+    metrics_.RecordDelivery();
+    trace_.Record({TraceRecord::Kind::kDeliver, now_, d->to, d->from,
+                   d->arrival_port, d->packet.type, 0});
+    ContextImpl ctx(*this, d->to);
+    processes_[d->to]->OnMessage(ctx, d->arrival_port, d->packet);
+  } else if (const auto* c = std::get_if<CrashEvent>(&e.body)) {
+    if (config_.failed.empty()) config_.failed.assign(config_.n, false);
+    config_.failed[c->node] = true;
+  }
+}
+
+RunResult Runtime::Run() {
+  CELECT_CHECK(!ran_) << "Runtime::Run may be called only once";
+  ran_ = true;
+
+  std::uint64_t events = 0;
+  while (!stop_requested_) {
+    auto e = queue_.Pop();
+    if (!e) break;
+    CELECT_CHECK(++events <= options_.max_events)
+        << "event budget exceeded — protocol is not quiescing "
+        << "(messages so far: " << metrics_.messages_sent() << ")";
+    Dispatch(*e);
+  }
+
+  RunResult r;
+  r.leader_id = metrics_.leader_id();
+  r.leader_node = metrics_.leader_node();
+  r.leader_declarations = metrics_.leader_declarations();
+  r.leader_time = metrics_.first_leader_time();
+  r.quiesce_time = now_;
+  r.total_messages = metrics_.messages_sent();
+  r.total_bytes = metrics_.bytes_sent();
+  r.events_processed = events;
+  r.max_link_load = links_.MaxLinkLoad();
+  r.max_link_inflight = links_.MaxLinkInflight();
+  r.messages_by_type = metrics_.by_type();
+  r.counters = metrics_.counters();
+  return r;
+}
+
+}  // namespace celect::sim

@@ -1,0 +1,90 @@
+// The discrete-event runtime for asynchronous complete networks.
+//
+// Drives the event queue to quiescence: wakeups fire OnWakeup on base
+// nodes; every Context::Send admits the packet through the LinkTable
+// (FIFO + delay-model arrival) and schedules a DeliveryEvent; deliveries
+// fire OnMessage. The run ends when the queue drains (protocols here are
+// finite) or the event budget is exceeded (treated as a protocol bug).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "celect/sim/event_queue.h"
+#include "celect/sim/link.h"
+#include "celect/sim/metrics.h"
+#include "celect/sim/network.h"
+#include "celect/sim/process.h"
+#include "celect/sim/trace.h"
+
+namespace celect::sim {
+
+struct RuntimeOptions {
+  // Hard event budget; exceeding it aborts the run (Run() CHECK-fails).
+  std::uint64_t max_events = 500'000'000;
+  bool enable_trace = false;
+  // When true, every packet is encoded and re-decoded through the wire
+  // codec (full serialisation validation). Off by default: byte sizes
+  // are still accounted via EncodedSize.
+  bool serialize_packets = false;
+  // Stop as soon as a leader declares (termination time is then the
+  // declaration time; message totals exclude in-flight cleanup).
+  bool stop_on_leader = false;
+};
+
+struct RunResult {
+  std::optional<Id> leader_id;
+  std::optional<NodeId> leader_node;
+  std::uint32_t leader_declarations = 0;
+  Time leader_time;   // first declaration
+  Time quiesce_time;  // when the queue drained
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t max_link_load = 0;
+  std::uint64_t max_link_inflight = 0;
+  std::map<std::uint16_t, std::uint64_t> messages_by_type;
+  std::map<std::string, std::int64_t> counters;
+};
+
+class Runtime {
+ public:
+  Runtime(NetworkConfig config, const ProcessFactory& factory,
+          RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Runs to quiescence and returns the aggregated result. Call once.
+  RunResult Run();
+
+  // Introspection (valid after Run).
+  const Metrics& metrics() const { return metrics_; }
+  const Trace& trace() const { return trace_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // The process at `address` — tests use this to assert protocol state.
+  Process& process(NodeId address);
+
+ private:
+  class ContextImpl;
+  friend class ContextImpl;
+
+  void Dispatch(const Event& e);
+  void SendFrom(NodeId from, Port port, wire::Packet packet);
+
+  NetworkConfig config_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Id> ids_;
+  EventQueue queue_;
+  LinkTable links_;
+  Metrics metrics_;
+  Trace trace_;
+  Time now_ = Time::Zero();
+  bool ran_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace celect::sim

@@ -1,0 +1,23 @@
+#include "celect/sim/time.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "celect/util/check.h"
+
+namespace celect::sim {
+
+Time Time::FromDouble(double units) {
+  CELECT_CHECK(std::isfinite(units)) << "time must be finite";
+  double ticks = std::round(units * kTicksPerUnit);
+  if (units > 0 && ticks < 1) ticks = 1;  // keep positive durations positive
+  return Time(static_cast<std::int64_t>(ticks));
+}
+
+std::string Time::ToString() const {
+  std::ostringstream os;
+  os << ToDouble();
+  return os.str();
+}
+
+}  // namespace celect::sim

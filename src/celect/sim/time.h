@@ -1,0 +1,61 @@
+// Fixed-point simulated time.
+//
+// The paper's model (§2): a message takes at most one *time unit* to
+// traverse a link, and consecutive messages on a link are spaced at most
+// one unit apart. Adversarial constructions use delays like ε < 1/2, so
+// time must support fractions; we use a fixed-point representation
+// (2^20 ticks per unit) instead of floating point so that event ordering
+// is exact and runs are bit-reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace celect::sim {
+
+class Time {
+ public:
+  static constexpr std::int64_t kTicksPerUnit = 1 << 20;
+
+  constexpr Time() : ticks_(0) {}
+
+  static constexpr Time FromTicks(std::int64_t ticks) { return Time(ticks); }
+  static constexpr Time FromUnits(std::int64_t units) {
+    return Time(units * kTicksPerUnit);
+  }
+  // Rounds to nearest tick; delays of (0,1] stay in (0,1] because the
+  // smallest positive double we accept maps to at least one tick.
+  static Time FromDouble(double units);
+
+  static constexpr Time Zero() { return Time(0); }
+  static constexpr Time Max() { return Time(INT64_MAX); }
+  // Smallest representable positive duration.
+  static constexpr Time Tick() { return Time(1); }
+
+  constexpr std::int64_t ticks() const { return ticks_; }
+  double ToDouble() const {
+    return static_cast<double>(ticks_) / kTicksPerUnit;
+  }
+
+  constexpr Time operator+(Time o) const { return Time(ticks_ + o.ticks_); }
+  constexpr Time operator-(Time o) const { return Time(ticks_ - o.ticks_); }
+  Time& operator+=(Time o) {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time(ticks_ * k); }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ticks) : ticks_(ticks) {}
+  std::int64_t ticks_;
+};
+
+// One simulated time unit (the model's maximum link delay).
+inline constexpr Time kUnit = Time::FromUnits(1);
+
+}  // namespace celect::sim

@@ -1,0 +1,47 @@
+#include "celect/sim/trace.h"
+
+#include <sstream>
+
+namespace celect::sim {
+
+void Trace::Record(TraceRecord r) {
+  if (!enabled_) return;
+  if (records_.size() >= cap_) {
+    truncated_ = true;
+    return;
+  }
+  r.seq = next_seq_++;
+  records_.push_back(r);
+}
+
+std::string Trace::ToString(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& r : records_) {
+    if (shown++ >= max_lines) {
+      os << "... (" << records_.size() - max_lines << " more)\n";
+      break;
+    }
+    const char* kind = "?";
+    switch (r.kind) {
+      case TraceRecord::Kind::kSend:
+        kind = "send";
+        break;
+      case TraceRecord::Kind::kDeliver:
+        kind = "recv";
+        break;
+      case TraceRecord::Kind::kWakeup:
+        kind = "wake";
+        break;
+      case TraceRecord::Kind::kLeader:
+        kind = "LEAD";
+        break;
+    }
+    os << r.at.ToString() << " " << kind << " node=" << r.node
+       << " peer=" << r.peer << " port=" << r.port << " type=" << r.type
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace celect::sim

@@ -1,0 +1,46 @@
+// Optional event trace for debugging and for tests that assert ordering
+// properties (per-link FIFO, happens-before of protocol rounds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+
+namespace celect::sim {
+
+struct TraceRecord {
+  enum class Kind { kSend, kDeliver, kWakeup, kLeader };
+  Kind kind;
+  Time at;
+  NodeId node;           // acting node
+  NodeId peer;           // other endpoint for send/deliver
+  Port port;             // local port at `node`
+  std::uint16_t type;    // packet type
+  std::uint64_t seq;     // global monotone sequence
+};
+
+class Trace {
+ public:
+  explicit Trace(bool enabled = false, std::size_t cap = 10'000'000)
+      : enabled_(enabled), cap_(cap) {}
+
+  bool enabled() const { return enabled_; }
+  void Record(TraceRecord r);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  bool truncated() const { return truncated_; }
+
+  std::string ToString(std::size_t max_lines = 100) const;
+
+ private:
+  bool enabled_;
+  std::size_t cap_;
+  bool truncated_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace celect::sim

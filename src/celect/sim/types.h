@@ -1,0 +1,23 @@
+// Shared identifier types for the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace celect::sim {
+
+// Internal node address, 0..N-1. Protocol code never compares addresses;
+// it compares identities (Id). Addresses double as ring positions for
+// sense-of-direction networks.
+using NodeId = std::uint32_t;
+
+// Processor identity — the unique value protocols contest with.
+using Id = std::int64_t;
+
+// Local port number at a node, 1..N-1 (0 is invalid). Under sense of
+// direction the port number *is* the Hamiltonian distance to the
+// neighbour; without it, port numbers are arbitrary labels.
+using Port = std::uint32_t;
+
+inline constexpr Port kInvalidPort = 0;
+
+}  // namespace celect::sim

@@ -1,0 +1,44 @@
+#include "celect/topo/chordal_ring.h"
+
+#include "celect/topo/ring_math.h"
+#include "celect/util/check.h"
+
+namespace celect::topo {
+
+ChordalRing::ChordalRing(std::uint32_t n) : n_(n) {
+  CELECT_CHECK(n >= 2 && (n & (n - 1)) == 0)
+      << "chordal ring assumes N = 2^r";
+  log_n_ = RingMath::FloorLog2(n);
+  chords_.reserve(log_n_);
+  for (std::uint32_t d = 1; d < n; d *= 2) chords_.push_back(d);
+}
+
+bool ChordalRing::IsChordDistance(std::uint32_t d) const {
+  CELECT_CHECK(d >= 1 && d <= n_ - 1);
+  // Forward chord or the reverse label of one (bidirectional links).
+  auto is_pow2 = [](std::uint32_t x) { return (x & (x - 1)) == 0; };
+  return is_pow2(d) || is_pow2(n_ - d);
+}
+
+std::uint32_t ChordalRing::FirstHop(std::uint32_t remaining) const {
+  CELECT_CHECK(remaining >= 1 && remaining <= n_ - 1);
+  return RingMath::FloorPow2(remaining);
+}
+
+std::uint32_t ChordalRing::HopCount(std::uint32_t remaining) const {
+  CELECT_CHECK(remaining <= n_ - 1);
+  std::uint32_t hops = 0;
+  while (remaining) {
+    remaining &= remaining - 1;  // clear lowest set bit
+    ++hops;
+  }
+  return hops;
+}
+
+std::uint32_t ChordalRing::ForwardDistance(std::uint32_t from,
+                                           std::uint32_t to) const {
+  CELECT_CHECK(from < n_ && to < n_);
+  return to >= from ? to - from : n_ - (from - to);
+}
+
+}  // namespace celect::topo

@@ -1,0 +1,61 @@
+// Chordal-ring structure (after Attiya, van Leeuwen, Santoro & Zaks,
+// "Efficient elections in chordal ring networks", Algorithmica 1989 —
+// reference [ALSZ89] in the paper's introduction).
+//
+// The paper contrasts two extremes of topological knowledge: a complete
+// network with no edge labels needs Ω(N log N) messages, while full
+// sense of direction allows O(N). [ALSZ89] showed the middle point: a
+// ring with O(log N) labelled chords per node already admits
+// O(N)-message election. We model the classic power-of-two chordal
+// ring: node p has forward chords to p + 2^s (mod N) for
+// s = 0 .. log2(N) - 1, each labelled with its distance. Any forward
+// distance decomposes into at most log2(N) chord hops (binary
+// decomposition), which is all the routing the coordinator protocol in
+// proto/chordal needs.
+//
+// Requires N = 2^r. The chordal ring embeds in the complete-network
+// simulator: protocols simply restrict themselves to chord ports (the
+// SoD port mapper already labels port d with distance d), and
+// ValidateChordUsage checks a run never used a non-chord edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "celect/sim/types.h"
+
+namespace celect::topo {
+
+class ChordalRing {
+ public:
+  explicit ChordalRing(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t chords_per_node() const { return log_n_; }
+
+  // Forward chord distances: {1, 2, 4, ..., N/2}.
+  const std::vector<std::uint32_t>& chord_distances() const {
+    return chords_;
+  }
+
+  // True iff distance d is a forward chord (or its reverse N-d; links
+  // are bidirectional, and replies travel back over the arrival edge).
+  bool IsChordDistance(std::uint32_t d) const;
+
+  // The first hop toward a node `remaining` positions ahead: the
+  // largest chord not exceeding it. remaining must be in [1, N-1].
+  std::uint32_t FirstHop(std::uint32_t remaining) const;
+
+  // Number of chord hops needed to cover `remaining` (= popcount).
+  std::uint32_t HopCount(std::uint32_t remaining) const;
+
+  // Forward distance from position `from` to position `to`.
+  std::uint32_t ForwardDistance(std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t log_n_;
+  std::vector<std::uint32_t> chords_;
+};
+
+}  // namespace celect::topo

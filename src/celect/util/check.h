@@ -1,0 +1,60 @@
+// Runtime invariant checking for celect.
+//
+// CELECT_CHECK is always on (simulator correctness depends on it and the
+// cost is negligible next to event-queue work); CELECT_DCHECK compiles out
+// in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace celect {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+namespace detail {
+// Builds the optional streamed message for a failed check lazily.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace celect
+
+#define CELECT_CHECK(cond)                                         \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::celect::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define CELECT_DCHECK(cond) \
+  if (true) {               \
+  } else                    \
+    ::celect::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define CELECT_DCHECK(cond) CELECT_CHECK(cond)
+#endif

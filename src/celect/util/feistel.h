@@ -1,0 +1,38 @@
+// Format-preserving pseudo-random permutation over [0, domain).
+//
+// A 4-round Feistel network over a power-of-two domain, combined with
+// cycle-walking to restrict it to an arbitrary domain size. Gives each
+// node a random-looking, invertible port→neighbour permutation in O(1)
+// memory — the whole-network table would be Θ(N²) and dominate memory on
+// large sweeps.
+#pragma once
+
+#include <cstdint>
+
+namespace celect {
+
+class FeistelPermutation {
+ public:
+  // domain must be >= 1. key selects the permutation.
+  FeistelPermutation(std::uint64_t domain, std::uint64_t key);
+
+  std::uint64_t domain() const { return domain_; }
+
+  // Bijective map [0, domain) -> [0, domain).
+  std::uint64_t Encrypt(std::uint64_t x) const;
+  // Inverse of Encrypt.
+  std::uint64_t Decrypt(std::uint64_t y) const;
+
+ private:
+  std::uint64_t EncryptOnce(std::uint64_t x) const;
+  std::uint64_t DecryptOnce(std::uint64_t y) const;
+  std::uint32_t RoundFn(std::uint32_t half, int round) const;
+
+  std::uint64_t domain_;
+  int half_bits_;          // bits per Feistel half
+  std::uint64_t half_mask_;
+  std::uint64_t pow2_;     // 2^(2*half_bits_) >= domain
+  std::uint64_t keys_[4];
+};
+
+}  // namespace celect

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the example binaries.
+//
+// Supports --name=value and --name value forms, typed accessors with
+// defaults, and a generated --help text. Deliberately minimal: examples
+// need a handful of knobs (protocol, N, k, seed, delay model), not a full
+// flags library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace celect {
+
+class Flags {
+ public:
+  // Parses argv; unknown positional arguments are collected in
+  // positional(). Exits with a message on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  // Registers a flag for --help and returns its value (or fallback).
+  std::string GetString(const std::string& name, const std::string& fallback,
+                        const std::string& help);
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback,
+                      const std::string& help);
+  double GetDouble(const std::string& name, double fallback,
+                   const std::string& help);
+  bool GetBool(const std::string& name, bool fallback,
+               const std::string& help);
+
+  bool Has(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+  // True when --help was passed; callers should print HelpText and exit.
+  bool help_requested() const { return help_requested_; }
+  std::string HelpText() const;
+
+ private:
+  struct HelpEntry {
+    std::string name;
+    std::string fallback;
+    std::string help;
+  };
+
+  std::optional<std::string> Raw(const std::string& name) const;
+
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<HelpEntry> help_entries_;
+  bool help_requested_ = false;
+};
+
+}  // namespace celect

@@ -1,0 +1,40 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples turn it on for narrative output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace celect {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+const char* LogLevelName(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace celect
+
+#define CELECT_LOG(level)                                      \
+  ::celect::detail::LogLine(::celect::LogLevel::k##level,      \
+                            __FILE__, __LINE__)

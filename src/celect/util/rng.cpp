@@ -1,0 +1,78 @@
+#include "celect/util/rng.h"
+
+#include "celect/util/check.h"
+
+namespace celect {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.Next();
+  // All-zero state is the one invalid state for xoshiro; splitmix64 output
+  // of four consecutive calls is never all zero, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng Rng::Split(std::uint64_t stream_index) const {
+  // Mix the current state with the stream index through splitmix64 to
+  // derive a decorrelated child seed.
+  SplitMix64 sm(state_[0] ^ Rotl(state_[2], 17) ^
+                (stream_index * 0x9e3779b97f4a7c15ULL + 0x1234'5678ULL));
+  return Rng(sm.Next());
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  CELECT_CHECK(bound > 0) << "NextBelow requires a positive bound";
+  // Lemire's rejection method: unbiased and fast.
+  std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  CELECT_CHECK(lo <= hi) << "NextInRange requires lo <= hi";
+  std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                       static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextPositiveDouble() {
+  // (0,1]: complement of [0,1).
+  return 1.0 - NextDouble();
+}
+
+std::vector<std::uint32_t> Rng::Permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  Shuffle(p);
+  return p;
+}
+
+}  // namespace celect

@@ -1,0 +1,27 @@
+#include "celect/wire/checksum.h"
+
+namespace celect::wire {
+
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data) {
+  return Fnv1a64(data.data(), data.size());
+}
+
+std::uint32_t Checksum32(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = Fnv1a64(data, size);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+std::uint32_t Checksum32(const std::vector<std::uint8_t>& data) {
+  return Checksum32(data.data(), data.size());
+}
+
+}  // namespace celect::wire

@@ -1,0 +1,17 @@
+// FNV-1a checksums used to validate framed packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace celect::wire {
+
+// 64-bit FNV-1a over a byte range.
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size);
+std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data);
+
+// 32-bit folded variant used in packet frames (4 bytes of overhead).
+std::uint32_t Checksum32(const std::uint8_t* data, std::size_t size);
+std::uint32_t Checksum32(const std::vector<std::uint8_t>& data);
+
+}  // namespace celect::wire

@@ -1,0 +1,34 @@
+// The unit of communication between processes.
+//
+// The paper's model allows each message to carry O(log N) bits. A Packet
+// is a protocol-defined type tag plus a handful of integer fields
+// (identities, levels, steps — all O(log N)-bit quantities). The codec in
+// packet_codec.h serialises packets so the metrics layer can account for
+// actual bits on the wire.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace celect::wire {
+
+struct Packet {
+  std::uint16_t type = 0;
+  std::vector<std::int64_t> fields;
+
+  Packet() = default;
+  Packet(std::uint16_t t, std::initializer_list<std::int64_t> fs)
+      : type(t), fields(fs) {}
+
+  // Field accessor with bounds checking in debug builds.
+  std::int64_t field(std::size_t i) const;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+// Debug rendering: "type=3 [7, 42]".
+std::string ToString(const Packet& p);
+
+}  // namespace celect::wire

@@ -1,0 +1,82 @@
+#include "celect/wire/packet_codec.h"
+
+#include <sstream>
+
+#include "celect/util/check.h"
+#include "celect/wire/checksum.h"
+#include "celect/wire/varint.h"
+
+namespace celect::wire {
+
+std::int64_t Packet::field(std::size_t i) const {
+  CELECT_DCHECK(i < fields.size())
+      << "packet type " << type << " has " << fields.size() << " fields";
+  return fields[i];
+}
+
+std::string ToString(const Packet& p) {
+  std::ostringstream os;
+  os << "type=" << p.type << " [";
+  for (std::size_t i = 0; i < p.fields.size(); ++i) {
+    if (i) os << ", ";
+    os << p.fields[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void EncodeTo(const Packet& p, std::vector<std::uint8_t>& out) {
+  std::size_t start = out.size();
+  PutVarint(out, p.type);
+  PutVarint(out, p.fields.size());
+  for (std::int64_t f : p.fields) PutSignedVarint(out, f);
+  std::uint32_t sum = Checksum32(out.data() + start, out.size() - start);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(sum >> (8 * i)));
+  }
+}
+
+std::vector<std::uint8_t> Encode(const Packet& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(EncodedSize(p));
+  EncodeTo(p, out);
+  return out;
+}
+
+std::size_t EncodedSize(const Packet& p) {
+  std::size_t n = VarintSize(p.type) + VarintSize(p.fields.size());
+  for (std::int64_t f : p.fields) n += SignedVarintSize(f);
+  return n + 4;  // checksum
+}
+
+std::optional<Packet> Decode(const std::uint8_t* data, std::size_t size) {
+  VarintReader reader(data, size);
+  auto type = reader.ReadVarint();
+  if (!type || *type > 0xFFFF) return std::nullopt;
+  auto count = reader.ReadVarint();
+  if (!count || *count > size) return std::nullopt;  // cheap sanity bound
+  Packet p;
+  p.type = static_cast<std::uint16_t>(*type);
+  p.fields.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto f = reader.ReadSignedVarint();
+    if (!f) return std::nullopt;
+    p.fields.push_back(*f);
+  }
+  std::size_t body_end = reader.position();
+  std::uint32_t expect = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto b = reader.ReadByte();
+    if (!b) return std::nullopt;
+    expect |= static_cast<std::uint32_t>(*b) << (8 * i);
+  }
+  if (Checksum32(data, body_end) != expect) return std::nullopt;
+  if (!reader.AtEnd()) return std::nullopt;  // trailing garbage
+  return p;
+}
+
+std::optional<Packet> Decode(const std::vector<std::uint8_t>& buf) {
+  return Decode(buf.data(), buf.size());
+}
+
+}  // namespace celect::wire

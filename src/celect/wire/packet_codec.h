@@ -1,0 +1,35 @@
+// Framing for Packets.
+//
+// Frame layout:
+//   varint  type
+//   varint  field count
+//   svarint field[0..n)
+//   u8[4]   checksum32 over everything before it (little-endian)
+//
+// The simulator's metrics layer uses EncodedSize to account bits on the
+// wire, verifying the model's O(log N)-bits-per-message assumption holds
+// for every protocol we implement.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "celect/wire/packet.h"
+
+namespace celect::wire {
+
+// Serialises p into a fresh buffer.
+std::vector<std::uint8_t> Encode(const Packet& p);
+
+// Appends the encoding of p to out.
+void EncodeTo(const Packet& p, std::vector<std::uint8_t>& out);
+
+// Size in bytes of Encode(p) without materialising the buffer.
+std::size_t EncodedSize(const Packet& p);
+
+// Parses one frame; nullopt on truncation, trailing garbage within the
+// frame bounds, or checksum mismatch.
+std::optional<Packet> Decode(const std::vector<std::uint8_t>& buf);
+std::optional<Packet> Decode(const std::uint8_t* data, std::size_t size);
+
+}  // namespace celect::wire

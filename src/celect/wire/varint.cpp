@@ -1,0 +1,64 @@
+#include "celect/wire/varint.h"
+
+namespace celect::wire {
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t ZigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutSignedVarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  PutVarint(out, ZigzagEncode(v));
+}
+
+std::size_t VarintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+std::size_t SignedVarintSize(std::int64_t v) {
+  return VarintSize(ZigzagEncode(v));
+}
+
+std::optional<std::uint64_t> VarintReader::ReadVarint() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0xFE) != 0) return std::nullopt;  // overflow
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::int64_t> VarintReader::ReadSignedVarint() {
+  auto raw = ReadVarint();
+  if (!raw) return std::nullopt;
+  return ZigzagDecode(*raw);
+}
+
+std::optional<std::uint8_t> VarintReader::ReadByte() {
+  if (pos_ >= size_) return std::nullopt;
+  return data_[pos_++];
+}
+
+}  // namespace celect::wire

@@ -1,0 +1,49 @@
+// LEB128-style variable-length integer encoding with zigzag for signed
+// values. Small identities and levels (the common case) cost one byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace celect::wire {
+
+// Appends the unsigned LEB128 encoding of v to out.
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+// Zigzag-maps v and appends its varint encoding.
+void PutSignedVarint(std::vector<std::uint8_t>& out, std::int64_t v);
+
+// Number of bytes PutVarint would append.
+std::size_t VarintSize(std::uint64_t v);
+std::size_t SignedVarintSize(std::int64_t v);
+
+// Zigzag mapping (exposed for tests).
+std::uint64_t ZigzagEncode(std::int64_t v);
+std::int64_t ZigzagDecode(std::uint64_t v);
+
+// Cursor-based decoding; returns nullopt on truncated or overlong input.
+class VarintReader {
+ public:
+  VarintReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit VarintReader(const std::vector<std::uint8_t>& buf)
+      : VarintReader(buf.data(), buf.size()) {}
+
+  std::optional<std::uint64_t> ReadVarint();
+  std::optional<std::int64_t> ReadSignedVarint();
+
+  // Raw byte access (for checksums/headers).
+  std::optional<std::uint8_t> ReadByte();
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace celect::wire

@@ -1,0 +1,72 @@
+// The §5 lower-bound adversary: locality of Up-first binding and the
+// empirical time floor for message-optimal protocols.
+#include <gtest/gtest.h>
+
+#include "celect/adversary/lower_bound.h"
+#include "celect/proto/nosod/protocol_e.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "test_util.h"
+
+namespace celect::adversary {
+namespace {
+
+TEST(TheoremFloor, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(TheoremFloor(1600, 10), 10.0);
+  EXPECT_DOUBLE_EQ(TheoremFloor(256, 8), 2.0);
+}
+
+TEST(LowerBound, ProtocolGStillElectsUnderAdversary) {
+  for (std::uint32_t n : {16u, 32u, 64u}) {
+    auto r = RunLowerBoundExperiment(
+        proto::nosod::MakeProtocolG(proto::nosod::MessageOptimalK(n)), n,
+        /*k=*/8);
+    EXPECT_TRUE(r.leader_elected) << "n=" << n;
+  }
+}
+
+TEST(LowerBound, TimeExceedsTheoreticalFloor) {
+  // Theorem 5.1: under the adversary, a protocol that stays within the
+  // Nd budget cannot beat N/16d time. Our message-optimal G should sit
+  // above the floor (the floor is for the *best possible* protocol).
+  for (std::uint32_t n : {64u, 128u, 256u}) {
+    std::uint32_t gk = proto::nosod::MessageOptimalK(n);
+    auto r = RunLowerBoundExperiment(proto::nosod::MakeProtocolG(gk), n,
+                                     /*k=*/2 * gk);
+    EXPECT_TRUE(r.leader_elected);
+    EXPECT_GE(r.elapsed_time, r.theoretical_floor)
+        << "n=" << n << " " << ToString(r);
+  }
+}
+
+TEST(LowerBound, ElectionTimeGrowsLinearlyWithN) {
+  // With k fixed, the adversary forces time Ω(N): the walk must cross
+  // the whole identity line one neighbourhood at a time.
+  auto small = RunLowerBoundExperiment(
+      proto::nosod::MakeProtocolG(4), 64, /*k=*/8);
+  auto large = RunLowerBoundExperiment(
+      proto::nosod::MakeProtocolG(4), 256, /*k=*/8);
+  ASSERT_TRUE(small.leader_elected && large.leader_elected);
+  EXPECT_GE(large.elapsed_time, 2.0 * small.elapsed_time);
+}
+
+TEST(LowerBound, UpFirstKeepsEarlyCommunicationLocal) {
+  // Run protocol E under the adversary and check the locality diagnostic:
+  // most traffic is confined to small identity distances (the giant
+  // distances come only from late global phases, if any).
+  auto r = RunLowerBoundExperiment(proto::nosod::MakeProtocolE(), 32,
+                                   /*k=*/4);
+  EXPECT_TRUE(r.leader_elected);
+  EXPECT_GT(r.mean_degree, 0.0);
+  EXPECT_LE(r.mean_degree, 32.0);
+}
+
+TEST(LowerBound, ReportStringMentionsKeyFields) {
+  auto r = RunLowerBoundExperiment(proto::nosod::MakeProtocolG(4), 16,
+                                   /*k=*/4);
+  std::string s = ToString(r);
+  EXPECT_NE(s.find("N=16"), std::string::npos);
+  EXPECT_NE(s.find("floor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace celect::adversary

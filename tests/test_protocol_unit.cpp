@@ -1,0 +1,594 @@
+// State-machine unit tests: drive single protocol nodes with scripted
+// packets and assert the exact replies the paper's rules prescribe.
+#include <gtest/gtest.h>
+
+#include "celect/proto/nosod/efg_engine.h"
+#include "celect/proto/nosod/protocol_d.h"
+#include "celect/proto/nosod/protocol_e.h"
+#include "celect/proto/sod/protocol_a.h"
+#include "celect/proto/sod/protocol_b.h"
+#include "celect/proto/sod/protocol_c.h"
+#include "mock_context.h"
+
+namespace celect::proto {
+namespace {
+
+using sim::Id;
+using sim::Port;
+using test::MockContext;
+using wire::Packet;
+
+// ---------------- Protocol A ------------------------------------------
+
+std::unique_ptr<sim::Process> MakeANode(sim::Id id, std::uint32_t n,
+                                        std::uint32_t k) {
+  sod::ProtocolAParams params;
+  params.k = k;
+  return sod::MakeProtocolA(params)(sim::ProcessInit{0, id, n});
+}
+
+TEST(ProtocolAUnit, WakeupSendsCaptureToDistanceOne) {
+  MockContext ctx(0, 5, 16);
+  auto node = MakeANode(5, 16, 4);
+  node->OnWakeup(ctx);
+  const auto& s = ctx.single();
+  EXPECT_EQ(s.port, 1u);  // i[1]
+  EXPECT_EQ(s.packet.type, sod::kACapture);
+  EXPECT_EQ(s.packet.field(0), 5);  // id
+  EXPECT_EQ(s.packet.field(1), 0);  // level
+}
+
+TEST(ProtocolAUnit, PassiveNodeAcceptsWithLevelZero) {
+  MockContext ctx(3, 7, 16);
+  auto node = MakeANode(7, 16, 4);
+  // Never woke: first contact is the capture itself.
+  node->OnMessage(ctx, 9, Packet{sod::kACapture, {2, 0}});
+  const auto& s = ctx.single();
+  EXPECT_EQ(s.port, 9u);  // reply on the arrival port
+  EXPECT_EQ(s.packet.type, sod::kAAccept);
+  EXPECT_EQ(s.packet.field(0), 0);
+}
+
+TEST(ProtocolAUnit, BaseNodeContestsOnLevelThenId) {
+  // Base node id 10, level 0: rejects (0, 3), accepts (0, 12) and
+  // (1, 3).
+  {
+    MockContext ctx(0, 10, 16);
+    auto node = MakeANode(10, 16, 4);
+    node->OnWakeup(ctx);
+    ctx.ClearSent();
+    node->OnMessage(ctx, 5, Packet{sod::kACapture, {3, 0}});
+    EXPECT_EQ(ctx.single().packet.type, sod::kAReject);
+  }
+  {
+    MockContext ctx(0, 10, 16);
+    auto node = MakeANode(10, 16, 4);
+    node->OnWakeup(ctx);
+    ctx.ClearSent();
+    node->OnMessage(ctx, 5, Packet{sod::kACapture, {12, 0}});
+    EXPECT_EQ(ctx.single().packet.type, sod::kAAccept);
+  }
+  {
+    MockContext ctx(0, 10, 16);
+    auto node = MakeANode(10, 16, 4);
+    node->OnWakeup(ctx);
+    ctx.ClearSent();
+    node->OnMessage(ctx, 5, Packet{sod::kACapture, {3, 1}});
+    EXPECT_EQ(ctx.single().packet.type, sod::kAAccept);
+    EXPECT_EQ(ctx.single().packet.field(0), 0);  // surrenders own level 0
+  }
+}
+
+TEST(ProtocolAUnit, BulkAcceptSkipsSurrenderedSegment) {
+  MockContext ctx(0, 9, 16);
+  auto node = MakeANode(9, 16, 4);
+  node->OnWakeup(ctx);  // capture -> i[1]
+  ctx.ClearSent();
+  // i[1] had captured two nodes of its own: the accept carries level 2,
+  // our level jumps to 0+2+1 = 3, and the walk continues at i[4] —
+  // skipping the surrendered i[2], i[3].
+  node->OnMessage(ctx, 15, Packet{sod::kAAccept, {2}});
+  ASSERT_EQ(ctx.sent_count(), 1u);
+  EXPECT_EQ(ctx.single().port, 4u);
+  EXPECT_EQ(ctx.single().packet.field(1), 3);  // carried level
+  ctx.ClearSent();
+  // One more accept reaches level 4 = k: the owner round starts.
+  node->OnMessage(ctx, 12, Packet{sod::kAAccept, {0}});
+  auto owners = ctx.OfType(sod::kAOwner);
+  ASSERT_EQ(owners.size(), 4u);  // owner(i) to i[1..4]
+  EXPECT_EQ(owners[0].port, 1u);
+  EXPECT_EQ(owners[3].port, 4u);
+}
+
+TEST(ProtocolAUnit, OwnerRoundThenElectThenLeader) {
+  const std::uint32_t n = 16, k = 4;
+  MockContext ctx(0, 9, n);
+  auto node = MakeANode(9, n, k);
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  // Accept with level 3: 0 + 3 + 1 = 4 = k -> owner round.
+  node->OnMessage(ctx, 15, Packet{sod::kAAccept, {3}});
+  EXPECT_EQ(ctx.OfType(sod::kAOwner).size(), 4u);
+  ctx.ClearSent();
+  for (int i = 0; i < 4; ++i) {
+    node->OnMessage(ctx, 15, Packet{sod::kAOwnerAck, {}});
+  }
+  // Elect to {i[8], i[12]} (2k..N-k step k).
+  auto elects = ctx.OfType(sod::kAElect);
+  ASSERT_EQ(elects.size(), 2u);
+  EXPECT_EQ(elects[0].port, 8u);
+  EXPECT_EQ(elects[1].port, 12u);
+  EXPECT_EQ(elects[0].packet.field(0), 9);  // id
+  EXPECT_EQ(elects[0].packet.field(1), 4);  // level
+  ctx.ClearSent();
+  node->OnMessage(ctx, 8, Packet{sod::kAElectAccept, {}});
+  EXPECT_EQ(ctx.leader_declarations(), 0u);
+  node->OnMessage(ctx, 4, Packet{sod::kAElectAccept, {}});
+  EXPECT_EQ(ctx.leader_declarations(), 1u);
+}
+
+TEST(ProtocolAUnit, ElectAtOwnedNodeForwardsToOwner) {
+  MockContext ctx(3, 7, 16);
+  auto node = MakeANode(7, 16, 4);
+  // Captured by id 2 over port 9.
+  node->OnMessage(ctx, 9, Packet{sod::kACapture, {2, 0}});
+  ctx.ClearSent();
+  // Elect from candidate 11 arrives on port 4: forwarded to the owner.
+  node->OnMessage(ctx, 4, Packet{sod::kAElect, {11, 4}});
+  const auto& fwd = ctx.single();
+  EXPECT_EQ(fwd.port, 9u);  // owner link
+  EXPECT_EQ(fwd.packet.type, sod::kAFwdElect);
+  EXPECT_EQ(fwd.packet.field(0), 11);
+  ctx.ClearSent();
+  // Owner killed: the node accepts the candidate and re-points.
+  node->OnMessage(ctx, 9, Packet{sod::kAFwdAccept, {}});
+  const auto& acc = ctx.single();
+  EXPECT_EQ(acc.port, 4u);
+  EXPECT_EQ(acc.packet.type, sod::kAElectAccept);
+}
+
+TEST(ProtocolAUnit, ForwardQueueSerialisesContests) {
+  MockContext ctx(3, 7, 16);
+  auto node = MakeANode(7, 16, 4);
+  node->OnMessage(ctx, 9, Packet{sod::kACapture, {2, 0}});
+  ctx.ClearSent();
+  node->OnMessage(ctx, 4, Packet{sod::kAElect, {11, 4}});
+  node->OnMessage(ctx, 5, Packet{sod::kAElect, {12, 4}});
+  // Only one forward may be outstanding.
+  EXPECT_EQ(ctx.OfType(sod::kAFwdElect).size(), 1u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 9, Packet{sod::kAFwdReject, {}});
+  // First contender rejected; second forwarded.
+  ASSERT_EQ(ctx.sent_count(), 2u);
+  EXPECT_EQ(ctx.sent()[0].packet.type, sod::kAElectReject);
+  EXPECT_EQ(ctx.sent()[0].port, 4u);
+  EXPECT_EQ(ctx.sent()[1].packet.type, sod::kAFwdElect);
+  EXPECT_EQ(ctx.sent()[1].packet.field(0), 12);
+}
+
+TEST(ProtocolAUnit, DeclaredLeaderRejectsForwardedContests) {
+  const std::uint32_t n = 8, k = 4;  // k = N/2: elect set empty
+  MockContext ctx(0, 9, n);
+  auto node = MakeANode(9, n, k);
+  node->OnWakeup(ctx);
+  node->OnMessage(ctx, 7, Packet{sod::kAAccept, {3}});
+  for (int i = 0; i < 4; ++i) {
+    node->OnMessage(ctx, 7, Packet{sod::kAOwnerAck, {}});
+  }
+  EXPECT_EQ(ctx.leader_declarations(), 1u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 3, Packet{sod::kAFwdElect, {99, 99}});
+  EXPECT_EQ(ctx.single().packet.type, sod::kAFwdReject);
+}
+
+// ---------------- Protocol B ------------------------------------------
+
+TEST(ProtocolBUnit, DoublingTargetsPerStep) {
+  const std::uint32_t n = 16;
+  MockContext ctx(0, 3, n);
+  auto node = sod::MakeProtocolB()(sim::ProcessInit{0, 3, n});
+  node->OnWakeup(ctx);
+  EXPECT_EQ(ctx.single().port, 8u);  // step 1: i[N/2]
+  EXPECT_EQ(ctx.single().packet.field(1), 1);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 8, Packet{sod::kBAccept, {}});
+  // Step 2: i[4], i[12].
+  auto caps = ctx.OfType(sod::kBCapture);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0].port, 4u);
+  EXPECT_EQ(caps[1].port, 12u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 4, Packet{sod::kBAccept, {}});
+  node->OnMessage(ctx, 12, Packet{sod::kBAccept, {}});
+  // Step 3: odd multiples of 2: i[2], i[6], i[10], i[14].
+  caps = ctx.OfType(sod::kBCapture);
+  ASSERT_EQ(caps.size(), 4u);
+  EXPECT_EQ(caps[0].port, 2u);
+  EXPECT_EQ(caps[3].port, 14u);
+}
+
+TEST(ProtocolBUnit, ContestComparesStepThenId) {
+  const std::uint32_t n = 16;
+  MockContext ctx(0, 10, n);
+  auto node = sod::MakeProtocolB()(sim::ProcessInit{0, 10, n});
+  node->OnWakeup(ctx);  // now a step-1 candidate
+  ctx.ClearSent();
+  node->OnMessage(ctx, 8, Packet{sod::kBCapture, {4, 1}});
+  EXPECT_EQ(ctx.single().packet.type, sod::kBReject);  // (1,4) < (1,10)
+  ctx.ClearSent();
+  node->OnMessage(ctx, 8, Packet{sod::kBCapture, {4, 2}});
+  EXPECT_EQ(ctx.single().packet.type, sod::kBAccept);  // higher step wins
+  ctx.ClearSent();
+  // Once captured, everything is accepted.
+  node->OnMessage(ctx, 8, Packet{sod::kBCapture, {2, 1}});
+  EXPECT_EQ(ctx.single().packet.type, sod::kBAccept);
+}
+
+TEST(ProtocolBUnit, RejectKillsCandidate) {
+  const std::uint32_t n = 16;
+  MockContext ctx(0, 10, n);
+  auto node = sod::MakeProtocolB()(sim::ProcessInit{0, 10, n});
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 8, Packet{sod::kBReject, {}});
+  // Dead: a later accept must not advance it.
+  node->OnMessage(ctx, 8, Packet{sod::kBAccept, {}});
+  EXPECT_EQ(ctx.sent_count(), 0u);
+  EXPECT_EQ(ctx.leader_declarations(), 0u);
+}
+
+// ---------------- Protocol C ------------------------------------------
+
+TEST(ProtocolCUnit, ClassWalkTargetsStrideMultiples) {
+  const std::uint32_t n = 16;  // k = 4, class size 4
+  MockContext ctx(0, 3, n);
+  auto node = sod::MakeProtocolC()(sim::ProcessInit{0, 3, n});
+  node->OnWakeup(ctx);
+  EXPECT_EQ(ctx.single().port, 4u);  // i[k]
+  EXPECT_EQ(ctx.single().packet.type, sod::kCCapture);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 12, Packet{sod::kCCaptAccept, {0}});
+  EXPECT_EQ(ctx.single().port, 8u);  // i[2k]
+  ctx.ClearSent();
+  node->OnMessage(ctx, 12, Packet{sod::kCCaptAccept, {0}});
+  EXPECT_EQ(ctx.single().port, 12u);  // i[3k] — last class mate
+  ctx.ClearSent();
+  node->OnMessage(ctx, 12, Packet{sod::kCCaptAccept, {0}});
+  // Class complete: owner round over the class.
+  auto owners = ctx.OfType(sod::kCOwner);
+  ASSERT_EQ(owners.size(), 3u);
+  EXPECT_EQ(owners[0].port, 4u);
+  EXPECT_EQ(owners[2].port, 12u);
+}
+
+TEST(ProtocolCUnit, DoublingWithinStrideAfterOwnerRound) {
+  const std::uint32_t n = 16;
+  MockContext ctx(0, 3, n);
+  auto node = sod::MakeProtocolC()(sim::ProcessInit{0, 3, n});
+  node->OnWakeup(ctx);
+  for (int i = 0; i < 3; ++i) {
+    node->OnMessage(ctx, 12, Packet{sod::kCCaptAccept, {0}});
+  }
+  ctx.ClearSent();
+  for (int i = 0; i < 3; ++i) {
+    node->OnMessage(ctx, 12, Packet{sod::kCOwnerAck, {}});
+  }
+  // Doubling step 1 inside i[1..k-1]: elect to i[k/2] = i[2].
+  const auto& elect = ctx.single();
+  EXPECT_EQ(elect.port, 2u);
+  EXPECT_EQ(elect.packet.type, sod::kCElect);
+  EXPECT_EQ(elect.packet.field(1), 1);  // step
+  ctx.ClearSent();
+  node->OnMessage(ctx, 2, Packet{sod::kCElectAccept, {}});
+  // Step 2: i[1], i[3].
+  auto elects = ctx.OfType(sod::kCElect);
+  ASSERT_EQ(elects.size(), 2u);
+  EXPECT_EQ(elects[0].port, 1u);
+  EXPECT_EQ(elects[1].port, 3u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{sod::kCElectAccept, {}});
+  node->OnMessage(ctx, 3, Packet{sod::kCElectAccept, {}});
+  EXPECT_EQ(ctx.leader_declarations(), 1u);
+}
+
+TEST(ProtocolCUnit, ClassWalkCandidateLosesToDoublingElect) {
+  // A candidate still in its class walk (step 0) dies to any doubling
+  // elect (step >= 1).
+  const std::uint32_t n = 16;
+  MockContext ctx(0, 15, n);
+  auto node = sod::MakeProtocolC()(sim::ProcessInit{0, 15, n});
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 2, Packet{sod::kCElect, {3, 1}});
+  EXPECT_EQ(ctx.single().packet.type, sod::kCElectAccept);
+  // Dead now: its own class-walk accept is ignored.
+  ctx.ClearSent();
+  node->OnMessage(ctx, 12, Packet{sod::kCCaptAccept, {0}});
+  EXPECT_EQ(ctx.sent_count(), 0u);
+}
+
+// ---------------- Protocol D ------------------------------------------
+
+TEST(ProtocolDUnit, FloodsOnWakeupAndCountsAccepts) {
+  const std::uint32_t n = 4;
+  MockContext ctx(0, 4, n);
+  auto node = nosod::MakeProtocolD()(sim::ProcessInit{0, 4, n});
+  node->OnWakeup(ctx);
+  EXPECT_EQ(ctx.OfType(nosod::kDElect).size(), 3u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kDAccept, {}});
+  node->OnMessage(ctx, 2, Packet{nosod::kDAccept, {}});
+  EXPECT_EQ(ctx.leader_declarations(), 0u);
+  node->OnMessage(ctx, 3, Packet{nosod::kDAccept, {}});
+  EXPECT_EQ(ctx.leader_declarations(), 1u);
+}
+
+TEST(ProtocolDUnit, BaseNodeStaysSilentForSmallerId) {
+  const std::uint32_t n = 4;
+  MockContext ctx(0, 4, n);
+  auto node = nosod::MakeProtocolD()(sim::ProcessInit{0, 4, n});
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kDElect, {2}});
+  EXPECT_EQ(ctx.sent_count(), 0u);  // silence is the contest
+  node->OnMessage(ctx, 1, Packet{nosod::kDElect, {9}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kDAccept);
+}
+
+TEST(ProtocolDUnit, PassiveNodeAcceptsEveryElect) {
+  const std::uint32_t n = 4;
+  MockContext ctx(1, 1, n);
+  auto node = nosod::MakeProtocolD()(sim::ProcessInit{1, 1, n});
+  node->OnMessage(ctx, 2, Packet{nosod::kDElect, {3}});
+  node->OnMessage(ctx, 3, Packet{nosod::kDElect, {2}});
+  EXPECT_EQ(ctx.OfType(nosod::kDAccept).size(), 2u);
+}
+
+// ---------------- EFG engine ------------------------------------------
+
+std::unique_ptr<sim::Process> MakeENode(sim::Id id, std::uint32_t n,
+                                        bool throttle = true) {
+  return nosod::MakeProtocolE(throttle)(sim::ProcessInit{0, id, n});
+}
+
+TEST(EfgUnit, WalkIsSequentialOverFreshPorts) {
+  MockContext ctx(0, 5, 8);
+  ctx.set_sense_of_direction(false);
+  auto node = MakeENode(5, 8);
+  node->OnWakeup(ctx);
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFCapture);
+  EXPECT_EQ(ctx.single().port, 1u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kFAccept, {}});
+  EXPECT_EQ(ctx.single().port, 2u);  // one at a time
+  EXPECT_EQ(ctx.single().packet.field(1), 1);  // level grew
+}
+
+TEST(EfgUnit, PassiveAcceptsBaseContests) {
+  MockContext ctx(2, 100, 8);
+  auto node = MakeENode(100, 8);
+  // Passive node with a big id still accepts a level-0 capture.
+  node->OnMessage(ctx, 3, Packet{nosod::kFCapture, {1, 0}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFAccept);
+}
+
+TEST(EfgUnit, BaseContestRejectsWithCredential) {
+  MockContext ctx(0, 10, 8);
+  auto node = MakeENode(10, 8);
+  node->OnWakeup(ctx);
+  node->OnMessage(ctx, 1, Packet{nosod::kFAccept, {}});  // level 1
+  ctx.ClearSent();
+  node->OnMessage(ctx, 5, Packet{nosod::kFCapture, {99, 0}});
+  const auto& rej = ctx.single();
+  EXPECT_EQ(rej.packet.type, nosod::kFReject);
+  EXPECT_EQ(rej.packet.field(0), 10);  // rejecter id
+  EXPECT_EQ(rej.packet.field(1), 1);   // rejecter level
+}
+
+TEST(EfgUnit, ThrottledForwardBuffersAndServesLargest) {
+  MockContext ctx(4, 2, 8);
+  auto node = MakeENode(2, 8);
+  node->OnMessage(ctx, 7, Packet{nosod::kFCapture, {50, 1}});  // captured
+  ctx.ClearSent();
+  // Three contenders while captured; only one forward at a time, and
+  // the strongest is forwarded first among those buffered.
+  node->OnMessage(ctx, 1, Packet{nosod::kFCapture, {10, 1}});
+  node->OnMessage(ctx, 2, Packet{nosod::kFCapture, {60, 2}});
+  node->OnMessage(ctx, 3, Packet{nosod::kFCapture, {55, 2}});
+  auto fwds = ctx.OfType(nosod::kFFwd);
+  ASSERT_EQ(fwds.size(), 1u);
+  EXPECT_EQ(fwds[0].port, 7u);          // to the owner
+  EXPECT_EQ(fwds[0].packet.field(0), 10);  // first arrival went out first
+  ctx.ClearSent();
+  // Owner survives contender 10; next forward must be the strongest
+  // remaining, (2, 60).
+  node->OnMessage(ctx, 7, Packet{nosod::kFFwdReject, {50, 9}});
+  ASSERT_EQ(ctx.sent_count(), 2u);
+  EXPECT_EQ(ctx.sent()[0].packet.type, nosod::kFReject);  // to contender 10
+  EXPECT_EQ(ctx.sent()[0].port, 1u);
+  EXPECT_EQ(ctx.sent()[1].packet.type, nosod::kFFwd);
+  EXPECT_EQ(ctx.sent()[1].packet.field(0), 60);
+  ctx.ClearSent();
+  // Owner killed by 60: node accepts 60 and re-points; 55 contests the
+  // new owner next.
+  node->OnMessage(ctx, 7, Packet{nosod::kFFwdAccept, {}});
+  ASSERT_EQ(ctx.sent_count(), 2u);
+  EXPECT_EQ(ctx.sent()[0].packet.type, nosod::kFAccept);
+  EXPECT_EQ(ctx.sent()[0].port, 2u);
+  EXPECT_EQ(ctx.sent()[1].packet.type, nosod::kFFwd);
+  EXPECT_EQ(ctx.sent()[1].port, 2u);  // forwarded to the NEW owner
+  EXPECT_EQ(ctx.sent()[1].packet.field(0), 55);
+}
+
+TEST(EfgUnit, RawForwardingPutsEverythingInFlight) {
+  MockContext ctx(4, 2, 8);
+  auto node = MakeENode(2, 8, /*throttle=*/false);
+  node->OnMessage(ctx, 7, Packet{nosod::kFCapture, {50, 1}});
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kFCapture, {10, 1}});
+  node->OnMessage(ctx, 2, Packet{nosod::kFCapture, {60, 2}});
+  node->OnMessage(ctx, 3, Packet{nosod::kFCapture, {55, 2}});
+  EXPECT_EQ(ctx.OfType(nosod::kFFwd).size(), 3u);  // no throttle
+}
+
+TEST(EfgUnit, GFirstPhaseAsksKNodes) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 3;
+    p.g_phases = true;
+    return p;
+  }());
+  MockContext ctx(0, 5, 16);
+  auto node = factory(sim::ProcessInit{0, 5, 16});
+  node->OnWakeup(ctx);
+  auto fps = ctx.OfType(nosod::kGFirstPhase);
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0].packet.field(0), 5);
+}
+
+TEST(EfgUnit, GFinishResponseKillsCandidate) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 2;
+    p.g_phases = true;
+    return p;
+  }());
+  MockContext ctx(0, 5, 16);
+  auto node = factory(sim::ProcessInit{0, 5, 16});
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kGProceed, {}});
+  node->OnMessage(ctx, 2, Packet{nosod::kGFinish, {}});
+  // Ordered after a finished node: no second phase, no traffic.
+  EXPECT_EQ(ctx.sent_count(), 0u);
+  EXPECT_NE(node->DescribeState().find("dead"), std::string::npos);
+}
+
+TEST(EfgUnit, GSecondPhaseCapturesProceedResponders) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 2;
+    p.g_phases = true;
+    return p;
+  }());
+  MockContext ctx(0, 5, 16);
+  auto node = factory(sim::ProcessInit{0, 5, 16});
+  node->OnWakeup(ctx);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kGProceed, {}});
+  node->OnMessage(ctx, 2, Packet{nosod::kGPAccept, {}});
+  // Second phase: capture the proceed responder (port 1) only.
+  auto caps = ctx.OfType(nosod::kFCapture);
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0].port, 1u);
+  EXPECT_EQ(caps[0].packet.field(1), 1);  // level = first-phase accepts
+}
+
+TEST(EfgUnit, GCapturedNodeRunsCheckDanceOnce) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 2;
+    p.g_phases = true;
+    return p;
+  }());
+  MockContext ctx(3, 4, 16);
+  auto node = factory(sim::ProcessInit{3, 4, 16});
+  // Captured (passive) by the first-phase message on port 9.
+  node->OnMessage(ctx, 9, Packet{nosod::kGFirstPhase, {7}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kGPAccept);
+  ctx.ClearSent();
+  // Two more askers: exactly one check to the owner, both queued.
+  node->OnMessage(ctx, 1, Packet{nosod::kGFirstPhase, {8}});
+  node->OnMessage(ctx, 2, Packet{nosod::kGFirstPhase, {9}});
+  auto checks = ctx.OfType(nosod::kGCheck);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].port, 9u);
+  ctx.ClearSent();
+  // Owner not finished: both askers get proceed.
+  node->OnMessage(ctx, 9, Packet{nosod::kGCheckReply, {0}});
+  auto proceeds = ctx.OfType(nosod::kGProceed);
+  EXPECT_EQ(proceeds.size(), 2u);
+  ctx.ClearSent();
+  // A later asker triggers a fresh check (result was not cached).
+  node->OnMessage(ctx, 4, Packet{nosod::kGFirstPhase, {10}});
+  EXPECT_EQ(ctx.OfType(nosod::kGCheck).size(), 1u);
+  ctx.ClearSent();
+  // Owner finished now: the asker gets finish, and the verdict caches.
+  node->OnMessage(ctx, 9, Packet{nosod::kGCheckReply, {1}});
+  EXPECT_EQ(ctx.OfType(nosod::kGFinish).size(), 1u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 5, Packet{nosod::kGFirstPhase, {11}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kGFinish);  // no new check
+}
+
+TEST(EfgUnit, FtConfirmRoundLocksAndReleases) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 2;
+    p.g_phases = true;
+    p.f = 1;
+    return p;
+  }());
+  MockContext ctx(3, 4, 8);
+  auto node = factory(sim::ProcessInit{3, 4, 8});
+  // Accept candidate 6's elect: strongest accepted becomes 6.
+  node->OnMessage(ctx, 1, Packet{nosod::kFElect, {6, 4}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFElectAccept);
+  ctx.ClearSent();
+  // Confirm from 6 locks the node.
+  node->OnMessage(ctx, 1, Packet{nosod::kFConfirm, {6}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFConfirmAck);
+  ctx.ClearSent();
+  // While locked: a stronger rival is rejected (and remembered).
+  node->OnMessage(ctx, 2, Packet{nosod::kFElect, {7, 4}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFElectRejectLocked);
+  ctx.ClearSent();
+  // Rival's confirm is rejected too.
+  node->OnMessage(ctx, 2, Packet{nosod::kFConfirm, {7}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFConfirmReject);
+  ctx.ClearSent();
+  // Release from a non-owner port is ignored.
+  node->OnMessage(ctx, 5, Packet{nosod::kFRelease, {}});
+  EXPECT_EQ(ctx.sent_count(), 0u);
+  // Release from the owner unlocks and hints the strongest rejected.
+  node->OnMessage(ctx, 1, Packet{nosod::kFRelease, {}});
+  const auto& hint = ctx.single();
+  EXPECT_EQ(hint.packet.type, nosod::kFRetryHint);
+  EXPECT_EQ(hint.port, 2u);
+  ctx.ClearSent();
+  // Unlocked: the rival's retried elect is now accepted.
+  node->OnMessage(ctx, 2, Packet{nosod::kFElect, {7, 4}});
+  EXPECT_EQ(ctx.single().packet.type, nosod::kFElectAccept);
+}
+
+TEST(EfgUnit, FtStaleRejectTriggersRecontest) {
+  auto factory = nosod::MakeEfgProcess([] {
+    nosod::EfgParams p;
+    p.k = 4;  // walk target N/4 = 4
+    p.f = 1;  // window 2: levels can go stale
+    return p;
+  }());
+  MockContext ctx(0, 9, 16);
+  auto node = factory(sim::ProcessInit{0, 9, 16});
+  node->OnWakeup(ctx);  // window of 2 captures on ports 1, 2
+  EXPECT_EQ(ctx.OfType(nosod::kFCapture).size(), 2u);
+  ctx.ClearSent();
+  node->OnMessage(ctx, 1, Packet{nosod::kFAccept, {}});
+  node->OnMessage(ctx, 3, Packet{nosod::kFAccept, {}});  // level 2 now
+  ctx.ClearSent();
+  // A reject for the stale port-2 capture, from credential (1, 5): our
+  // current (2, 9) wins, so we re-contest on the same port instead of
+  // dying.
+  node->OnMessage(ctx, 2, Packet{nosod::kFReject, {5, 1}});
+  auto retries = ctx.OfType(nosod::kFCapture);
+  ASSERT_EQ(retries.size(), 1u);
+  EXPECT_EQ(retries[0].port, 2u);
+  EXPECT_EQ(retries[0].packet.field(1), 2);  // current level carried
+  ctx.ClearSent();
+  // A reject from a credential our current one does not beat is fatal.
+  node->OnMessage(ctx, 2, Packet{nosod::kFReject, {5, 7}});
+  EXPECT_NE(node->DescribeState().find("dead"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace celect::proto

@@ -1,0 +1,136 @@
+#include "celect/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace celect {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound :
+       {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextPositiveDoubleNeverZero) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    double d = rng.NextPositiveDouble();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng rng(19);
+  for (std::uint32_t n : {1u, 2u, 5u, 100u, 1000u}) {
+    auto p = rng.Permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<std::uint32_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*seen.begin(), 0u);
+      EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(23);
+  Rng child0 = parent.Split(0);
+  Rng child1 = parent.Split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child0.Next() == child1.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(29), b(29);
+  Rng ca = a.Split(5), cb = b.Split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.Next(), cb.Next());
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 2, 3, 5, 8, 13};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, UniformBitGeneratorInterface) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(37);
+  EXPECT_NE(rng(), rng());
+}
+
+TEST(Rng, RoughUniformityOfLowBits) {
+  Rng rng(41);
+  int buckets[8] = {};
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.NextBelow(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_NEAR(buckets[b], kDraws / 8, kDraws / 80) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace celect

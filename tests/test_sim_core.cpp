@@ -1,0 +1,178 @@
+// Unit tests for the simulator primitives: Time, EventQueue, LinkTable,
+// DelayModels, WakeupPlans, and identity/network validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "celect/sim/delay_model.h"
+#include "celect/sim/event_queue.h"
+#include "celect/sim/link.h"
+#include "celect/sim/network.h"
+#include "celect/sim/time.h"
+#include "celect/sim/wakeup_policy.h"
+
+namespace celect::sim {
+namespace {
+
+TEST(Time, UnitArithmetic) {
+  EXPECT_EQ(Time::FromUnits(3) + Time::FromUnits(4), Time::FromUnits(7));
+  EXPECT_EQ(Time::FromUnits(3) * 2, Time::FromUnits(6));
+  EXPECT_LT(Time::FromUnits(1), Time::FromUnits(2));
+  EXPECT_EQ(kUnit.ToDouble(), 1.0);
+}
+
+TEST(Time, FromDoubleKeepsPositiveDurationsPositive) {
+  EXPECT_GT(Time::FromDouble(1e-12), Time::Zero());
+  EXPECT_EQ(Time::FromDouble(0.0), Time::Zero());
+  EXPECT_DOUBLE_EQ(Time::FromDouble(0.5).ToDouble(), 0.5);
+}
+
+TEST(Time, FractionsAreExactInTicks) {
+  Time half = Time::FromTicks(Time::kTicksPerUnit / 2);
+  EXPECT_EQ(half + half, kUnit);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.Push(Time::FromUnits(5), WakeupEvent{5});
+  q.Push(Time::FromUnits(1), WakeupEvent{1});
+  q.Push(Time::FromUnits(3), WakeupEvent{3});
+  EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, 1u);
+  EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, 3u);
+  EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, 5u);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (NodeId i = 0; i < 10; ++i) q.Push(Time::FromUnits(1), WakeupEvent{i});
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, i);
+  }
+}
+
+TEST(EventQueue, PeekTimeMatchesNextPop) {
+  EventQueue q;
+  q.Push(Time::FromUnits(2), WakeupEvent{0});
+  q.Push(Time::FromUnits(1), WakeupEvent{1});
+  EXPECT_EQ(q.PeekTime(), Time::FromUnits(1));
+}
+
+TEST(LinkTable, SimpleTransit) {
+  LinkTable links(4);
+  Time a = links.Admit(0, 1, Time::Zero(), {kUnit, kUnit});
+  EXPECT_EQ(a, Time::FromUnits(1));
+  EXPECT_EQ(links.SentCount(0, 1), 1u);
+  EXPECT_EQ(links.SentCount(1, 0), 0u);  // directions are independent
+}
+
+TEST(LinkTable, FifoNeverReorders) {
+  LinkTable links(4);
+  Time a1 = links.Admit(0, 1, Time::Zero(), {kUnit, Time::Zero()});
+  // Second message sent later but with a tiny transit: must not overtake.
+  Time a2 = links.Admit(0, 1, Time::FromDouble(0.1),
+                        {Time::FromDouble(0.05), Time::Zero()});
+  EXPECT_GE(a2, a1);
+}
+
+TEST(LinkTable, SpacingSerialisesABurst) {
+  LinkTable links(4);
+  // Ten messages at time 0 with transit 1, spacing 1: the i-th arrives
+  // at time i+1 — the congestion behaviour behind the paper's Θ(N)
+  // forwarding pathology.
+  Time last = Time::Zero();
+  for (int i = 0; i < 10; ++i) {
+    last = links.Admit(0, 1, Time::Zero(), {kUnit, kUnit});
+    EXPECT_EQ(last, Time::FromUnits(i + 1));
+  }
+  EXPECT_EQ(links.MaxLinkLoad(), 10u);
+}
+
+TEST(LinkTable, ReverseDirectionUnaffectedByForwardLoad) {
+  LinkTable links(4);
+  for (int i = 0; i < 5; ++i) {
+    links.Admit(0, 1, Time::Zero(), {kUnit, kUnit});
+  }
+  Time back = links.Admit(1, 0, Time::Zero(), {kUnit, kUnit});
+  EXPECT_EQ(back, Time::FromUnits(1));
+}
+
+TEST(DelayModel, UnitIsWorstCasePipe) {
+  UnitDelayModel m;
+  auto d = m.Decide({0, 1, Time::Zero(), 0, nullptr});
+  EXPECT_EQ(d.transit, kUnit);
+  EXPECT_EQ(d.spacing, kUnit);
+}
+
+TEST(DelayModel, EagerIsMinimal) {
+  EagerDelayModel m;
+  auto d = m.Decide({0, 1, Time::Zero(), 0, nullptr});
+  EXPECT_EQ(d.transit, Time::Tick());
+  EXPECT_EQ(d.spacing, Time::Zero());
+}
+
+TEST(DelayModel, RandomStaysWithinModelBounds) {
+  RandomDelayModel m(1234);
+  for (int i = 0; i < 2000; ++i) {
+    auto d = m.Decide({0, 1, Time::Zero(), 0, nullptr});
+    EXPECT_GT(d.transit, Time::Zero());
+    EXPECT_LE(d.transit, kUnit);
+    EXPECT_GE(d.spacing, Time::Zero());
+    EXPECT_LE(d.spacing, kUnit);
+  }
+}
+
+TEST(DelayModel, FunctionModelIsScriptable) {
+  FunctionDelayModel m([](const MessageInfo& info) {
+    return DelayDecision{info.from == 0 ? kUnit : Time::Tick(),
+                         Time::Zero()};
+  });
+  EXPECT_EQ(m.Decide({0, 1, Time::Zero(), 0, nullptr}).transit, kUnit);
+  EXPECT_EQ(m.Decide({2, 1, Time::Zero(), 0, nullptr}).transit,
+            Time::Tick());
+}
+
+TEST(WakeupPlan, AllAtZeroCoversEveryNode) {
+  auto plan = WakeAllAtZero(8);
+  EXPECT_EQ(plan.base_count(), 8u);
+  EXPECT_EQ(plan.LastWakeup(), Time::Zero());
+}
+
+TEST(WakeupPlan, StaggeredChainSpacing) {
+  auto plan = WakeStaggeredChain(4, Time::FromDouble(0.9));
+  ASSERT_EQ(plan.wakeups.size(), 4u);
+  EXPECT_EQ(plan.wakeups[0].second, Time::Zero());
+  EXPECT_NEAR(plan.wakeups[3].second.ToDouble(), 2.7, 1e-5);
+}
+
+TEST(WakeupPlan, RandomSubsetRespectsCountAndWindow) {
+  Rng rng(5);
+  auto plan = WakeRandomSubset(100, 10, Time::FromUnits(3), rng);
+  EXPECT_EQ(plan.base_count(), 10u);
+  for (const auto& [node, at] : plan.wakeups) {
+    EXPECT_LT(node, 100u);
+    EXPECT_LE(at, Time::FromUnits(3));
+  }
+}
+
+TEST(Identities, AscendingAndRandomAreUniquePermutations) {
+  auto asc = IdentitiesAscending(50);
+  EXPECT_EQ(asc.front(), 1);
+  EXPECT_EQ(asc.back(), 50);
+  Rng rng(7);
+  auto rnd = IdentitiesRandom(50, rng);
+  std::set<Id> s(rnd.begin(), rnd.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 1);
+  EXPECT_EQ(*s.rbegin(), 50);
+}
+
+TEST(Identities, SparseAreStrictlyUnique) {
+  Rng rng(11);
+  auto ids = IdentitiesSparse(200, rng);
+  std::set<Id> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), 200u);
+}
+
+}  // namespace
+}  // namespace celect::sim

@@ -1,0 +1,99 @@
+#include "celect/sim/sync_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "celect/proto/nosod/ag85_sync.h"
+#include "celect/sim/network.h"
+#include "celect/topo/ring_math.h"
+
+namespace celect::sim {
+namespace {
+
+// Round 0: node 0 sends a token to port 1; each receiver forwards it to
+// its port 1 until it has hopped N times.
+class TokenRelay : public SyncProcess {
+ public:
+  explicit TokenRelay(const SyncProcessInit& init)
+      : address_(init.address), n_(init.n) {}
+
+  void OnRound(SyncContext& ctx,
+               const std::vector<std::pair<Port, wire::Packet>>& inbox)
+      override {
+    if (ctx.round() == 0 && address_ == 0) {
+      ctx.Send(1, wire::Packet{1, {1}});
+      return;
+    }
+    for (const auto& [port, p] : inbox) {
+      std::int64_t hops = p.field(0);
+      if (hops < static_cast<std::int64_t>(n_)) {
+        ctx.Send(1, wire::Packet{1, {hops + 1}});
+      } else {
+        ctx.DeclareLeader();  // marker for "token went all the way round"
+      }
+    }
+  }
+
+ private:
+  NodeId address_;
+  std::uint32_t n_;
+};
+
+TEST(SyncRuntime, TokenTakesNRounds) {
+  const std::uint32_t n = 8;
+  SyncRuntime rt(n, IdentitiesAscending(n), MakeSodMapper(n),
+                 [](const SyncProcessInit& init) {
+                   return std::make_unique<TokenRelay>(init);
+                 });
+  auto r = rt.Run();
+  EXPECT_EQ(r.leader_declarations, 1u);
+  EXPECT_EQ(r.total_messages, n);
+  // One round per hop plus the final (quiescent) round.
+  EXPECT_GE(r.rounds, n);
+}
+
+TEST(Ag85Sync, ElectsUniqueMaxId) {
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 64u}) {
+    SyncRuntime rt(n, IdentitiesAscending(n), MakeRandomMapper(n, n),
+                   proto::nosod::MakeAg85Sync());
+    auto r = rt.Run();
+    EXPECT_EQ(r.leader_declarations, 1u) << "n=" << n;
+    ASSERT_TRUE(r.leader_id.has_value());
+  }
+}
+
+TEST(Ag85Sync, RoundsAreLogarithmic) {
+  // Doubling with reply round-trips: about 2·log2(N) + O(1) rounds.
+  for (std::uint32_t n : {16u, 64u, 256u}) {
+    SyncRuntime rt(n, IdentitiesAscending(n), MakeRandomMapper(n, 3 * n),
+                   proto::nosod::MakeAg85Sync());
+    auto r = rt.Run();
+    double log_n = topo::RingMath::FloorLog2(n);
+    EXPECT_LE(r.rounds, 4 * log_n + 8) << "n=" << n;
+  }
+}
+
+TEST(Ag85Sync, MessagesAreNLogNish) {
+  const std::uint32_t n = 128;
+  SyncRuntime rt(n, IdentitiesAscending(n), MakeRandomMapper(n, 5),
+                 proto::nosod::MakeAg85Sync());
+  auto r = rt.Run();
+  double bound = 2.0 * n * (topo::RingMath::FloorLog2(n) + 1) * 2;
+  EXPECT_LE(r.total_messages, bound);
+}
+
+TEST(Ag85Sync, RandomIdentityPlacement) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::uint32_t n = 32;
+    SyncRuntime rt(n, IdentitiesRandom(n, rng),
+                   MakeRandomMapper(n, 100 + trial),
+                   proto::nosod::MakeAg85Sync());
+    auto r = rt.Run();
+    EXPECT_EQ(r.leader_declarations, 1u) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace celect::sim

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "celect/topo/complete_graph.h"
+#include "celect/topo/ring_math.h"
+
+namespace celect::topo {
+namespace {
+
+TEST(RingMath, AtWrapsModulo) {
+  RingMath ring(6);
+  EXPECT_EQ(ring.At(0, 1), 1u);
+  EXPECT_EQ(ring.At(5, 1), 0u);
+  EXPECT_EQ(ring.At(4, 5), 3u);
+  EXPECT_EQ(ring.At(2, 6), 2u);   // full loop
+  EXPECT_EQ(ring.At(2, 13), 3u);  // d > N
+}
+
+TEST(RingMath, DistanceIsInverseOfAt) {
+  RingMath ring(10);
+  for (Position from = 0; from < 10; ++from) {
+    for (Distance d = 1; d < 10; ++d) {
+      EXPECT_EQ(ring.DistanceBetween(from, ring.At(from, d)), d);
+    }
+    EXPECT_EQ(ring.DistanceBetween(from, from), 0u);
+  }
+}
+
+TEST(RingMath, SegmentMatchesPaperNotation) {
+  RingMath ring(8);
+  // i[1..3] for i = 6: {7, 0, 1}.
+  auto seg = ring.Segment(6, 1, 3);
+  EXPECT_EQ(seg, (std::vector<Position>{7, 0, 1}));
+}
+
+TEST(RingMath, StridedSetForProtocolA) {
+  RingMath ring(12);
+  // {i[k], i[2k], ..., i[N-k]} for k = 3, i = 0: {3, 6, 9}.
+  auto s = ring.Strided(0, 3);
+  EXPECT_EQ(s, (std::vector<Position>{3, 6, 9}));
+  // Shifted reference.
+  auto s2 = ring.Strided(10, 3);
+  EXPECT_EQ(s2, (std::vector<Position>{1, 4, 7}));
+}
+
+TEST(RingMath, ResidueClassesPartitionTheRing) {
+  RingMath ring(12);
+  const Distance k = 4;
+  std::set<Position> all;
+  for (Distance j = 0; j < k; ++j) {
+    auto cls = ring.ResidueClass(5, j, k);
+    EXPECT_EQ(cls.size(), 12u / k);
+    for (Position p : cls) EXPECT_TRUE(all.insert(p).second);
+  }
+  EXPECT_EQ(all.size(), 12u);
+}
+
+TEST(RingMath, Pow2Helpers) {
+  EXPECT_EQ(RingMath::FloorPow2(1), 1u);
+  EXPECT_EQ(RingMath::FloorPow2(7), 4u);
+  EXPECT_EQ(RingMath::FloorPow2(8), 8u);
+  EXPECT_EQ(RingMath::CeilPow2(5), 8u);
+  EXPECT_EQ(RingMath::CeilPow2(8), 8u);
+  EXPECT_EQ(RingMath::FloorLog2(1), 0u);
+  EXPECT_EQ(RingMath::FloorLog2(1024), 10u);
+  EXPECT_EQ(RingMath::CeilLog2(1), 0u);
+  EXPECT_EQ(RingMath::CeilLog2(9), 4u);
+  EXPECT_EQ(RingMath::CeilLog2(1024), 10u);
+}
+
+TEST(RingMath, ProtocolCStrideMatchesFormula) {
+  // k = N / 2^{ceil(log log N)}.
+  EXPECT_EQ(RingMath::ProtocolCStride(16), 4u);    // 16 / 2^⌈log2 4⌉ = 2^2
+  EXPECT_EQ(RingMath::ProtocolCStride(64), 8u);    // 64 / 2^⌈log2 6⌉ = 2^3
+  EXPECT_EQ(RingMath::ProtocolCStride(256), 32u);  // 256 / 2^⌈log2 8⌉ = 2^3
+  EXPECT_EQ(RingMath::ProtocolCStride(1024), 64u); // 1024 / 2^⌈log2 10⌉=2^4
+}
+
+TEST(RingMath, ProtocolCStrideDividesN) {
+  for (std::uint32_t n = 4; n <= 4096; n *= 2) {
+    std::uint32_t k = RingMath::ProtocolCStride(n);
+    EXPECT_EQ(n % k, 0u) << "n=" << n;
+    EXPECT_GE(k, 1u);
+    EXPECT_LT(k, n);
+  }
+}
+
+TEST(CompleteGraph, EdgeCount) {
+  CompleteGraph g(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.Edges().size(), 15u);
+}
+
+TEST(CompleteGraph, SodMapperIsAValidSenseOfDirection) {
+  // Figure 1's property, at several sizes.
+  for (std::uint32_t n : {2u, 3u, 6u, 16u, 33u}) {
+    CompleteGraph g(n);
+    auto mapper = sim::MakeSodMapper(n);
+    EXPECT_EQ(g.ValidateSenseOfDirection(*mapper), "") << "n=" << n;
+    EXPECT_EQ(g.ValidatePortAssignment(*mapper), "") << "n=" << n;
+  }
+}
+
+TEST(CompleteGraph, RandomMapperIsValidButNotSod) {
+  for (std::uint32_t n : {2u, 5u, 16u, 64u}) {
+    CompleteGraph g(n);
+    auto mapper = sim::MakeRandomMapper(n, /*seed=*/n);
+    EXPECT_EQ(g.ValidatePortAssignment(*mapper), "") << "n=" << n;
+    EXPECT_NE(g.ValidateSenseOfDirection(*mapper), "");
+  }
+}
+
+TEST(CompleteGraph, Figure1RenderListsSixNodes) {
+  CompleteGraph g(6);
+  std::string fig = g.RenderFigure1();
+  EXPECT_NE(fig.find("N=6"), std::string::npos);
+  EXPECT_NE(fig.find("node 5"), std::string::npos);
+  EXPECT_NE(fig.find("[5]->4"), std::string::npos);  // node 5, distance 5
+}
+
+}  // namespace
+}  // namespace celect::topo

@@ -1,0 +1,27 @@
+// Shared helpers for the celect test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "celect/harness/experiment.h"
+#include "celect/sim/runtime.h"
+
+namespace celect::test {
+
+// Asserts the fundamental election contract: exactly one leader was
+// declared and the run quiesced.
+inline void ExpectUniqueLeader(const sim::RunResult& r,
+                               const std::string& context) {
+  EXPECT_EQ(r.leader_declarations, 1u) << context;
+  EXPECT_TRUE(r.leader_id.has_value()) << context;
+}
+
+// Runs and asserts in one step; returns the result for further checks.
+inline sim::RunResult RunAndCheck(const sim::ProcessFactory& factory,
+                                  const harness::RunOptions& options) {
+  sim::RunResult r = harness::RunElection(factory, options);
+  ExpectUniqueLeader(r, harness::Describe(options));
+  return r;
+}
+
+}  // namespace celect::test
