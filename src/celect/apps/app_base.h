@@ -43,6 +43,13 @@ class ElectionAppProcess : public sim::Process {
     inner_->OnMessage(ictx, from_port, p);
   }
 
+  // Apps themselves arm no timers; any timer belongs to the inner
+  // election protocol.
+  void OnTimer(sim::Context& ctx, sim::TimerId timer) final {
+    InterceptingContext ictx(*this, ctx);
+    inner_->OnTimer(ictx, timer);
+  }
+
   bool leader_here() const { return leader_here_; }
 
  protected:
@@ -77,6 +84,12 @@ class ElectionAppProcess : public sim::Process {
       return real_.SendFresh(std::move(p));
     }
     void SendAll(wire::Packet p) override { real_.SendAll(std::move(p)); }
+    sim::TimerId SetTimer(sim::Time delay) override {
+      return real_.SetTimer(delay);
+    }
+    void CancelTimer(sim::TimerId timer) override {
+      real_.CancelTimer(timer);
+    }
     void DeclareLeader() override {
       real_.DeclareLeader();
       if (!app_.leader_here_) {

@@ -118,6 +118,8 @@ sim::NetworkConfig BuildNetwork(const RunOptions& options) {
       break;
   }
 
+  config.faults = options.fault_plan;
+
   sim::ValidateConfig(config);
   return config;
 }
@@ -174,6 +176,15 @@ std::string Describe(const RunOptions& o) {
       break;
   }
   if (o.failures) os << " failures=" << o.failures;
+  if (!o.fault_plan.Empty()) {
+    os << " faults=[crashes=" << o.fault_plan.crashes.size();
+    if (o.fault_plan.link.Any()) {
+      os << " loss=" << o.fault_plan.link.loss
+         << " dup=" << o.fault_plan.link.duplicate
+         << " reorder=" << o.fault_plan.link.reorder;
+    }
+    os << " seed=" << o.fault_plan.seed << "]";
+  }
   return os.str();
 }
 
@@ -189,6 +200,11 @@ std::string Summarize(const sim::RunResult& r) {
      << " messages=" << r.total_messages
      << " time=" << r.leader_time.ToDouble()
      << " quiesce=" << r.quiesce_time.ToDouble();
+  if (r.faults_injected || r.messages_lost || r.messages_duplicated) {
+    os << " crashes=" << r.faults_injected << " lost=" << r.messages_lost
+       << " duped=" << r.messages_duplicated;
+  }
+  if (r.timers_fired) os << " timers=" << r.timers_fired;
   return os.str();
 }
 

@@ -47,6 +47,8 @@ struct RunOptions {
   bool serialize_packets = false;
   bool enable_trace = false;
   std::uint64_t max_events = 500'000'000;
+  // Mid-run fault schedule (crashes + lossy links); empty = fault-free.
+  sim::FaultPlan fault_plan;
 };
 
 // Builds the network described by `options` (the protocol factory comes

@@ -25,4 +25,13 @@ void ElectionProcess::OnMessage(sim::Context& ctx, sim::Port from_port,
   OnPacket(ctx, from_port, p, first_contact);
 }
 
+void ElectionProcess::OnTimer(sim::Context& ctx, sim::TimerId timer) {
+  OnTimerFired(ctx, timer);
+}
+
+void ElectionProcess::OnTimerFired(sim::Context& ctx, sim::TimerId timer) {
+  (void)ctx;
+  (void)timer;
+}
+
 }  // namespace celect::proto

@@ -30,6 +30,7 @@ class ElectionProcess : public sim::Process {
   void OnWakeup(sim::Context& ctx) final;
   void OnMessage(sim::Context& ctx, sim::Port from_port,
                  const wire::Packet& p) final;
+  void OnTimer(sim::Context& ctx, sim::TimerId timer) final;
 
   bool awake() const { return awake_; }
   // True iff this node woke spontaneously before hearing any message —
@@ -43,6 +44,10 @@ class ElectionProcess : public sim::Process {
   // woke the node (it is then awake but barred from candidacy).
   virtual void OnPacket(sim::Context& ctx, sim::Port from_port,
                         const wire::Packet& p, bool first_contact) = 0;
+  // A timer armed via ctx.SetTimer fired. Timers can only have been armed
+  // after the node was awake, so no wakeup bookkeeping is needed. Default:
+  // ignore (the paper's protocols are asynchronous and arm no timers).
+  virtual void OnTimerFired(sim::Context& ctx, sim::TimerId timer);
 
  private:
   bool awake_ = false;

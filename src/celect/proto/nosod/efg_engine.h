@@ -9,7 +9,14 @@
 //       parallel capture burst to level k).
 //   FT — G extended to tolerate f initial crash failures: first-phase
 //       redundancy (ask k+f, wait for k), capture window of f+1
-//       outstanding messages, and an elect quorum of N-1-f.
+//       outstanding messages, and an elect quorum of N-1-f. Against
+//       *mid-run* crashes and lossy links it adds timer-driven recovery:
+//       a capture watchdog that retries and then abandons silent targets
+//       (re-filling the f+1 window), elect/confirm retransmits, lease
+//       probes that detect a crashed lock owner and self-release, and an
+//       owner-watch at captured nodes that condemns a crashed owner so
+//       forwarded contests still resolve. With f = 0 no timer is ever
+//       armed and behaviour is bit-identical to protocol G.
 //
 // Walk semantics (Ɛ): a candidate sends capture(level, id) over its
 // incident edges one at a time (a window of f+1 for FT). An uncaptured
@@ -56,8 +63,17 @@ enum EfgMsg : std::uint16_t {
   kFConfirmReject = 17,       // fields: {}
   kFElectRejectStronger = 18, // fields: {} — a stronger credential exists
   kFElectRejectLocked = 19,   // fields: {} — node is locked to a rival
-  kFRelease = 20,             // fields: {} — lock owner died, unlock
+  kFRelease = 20,             // fields: {final} — final=0: lock owner died,
+                              // unlock; final=1: election decided, stand down
   kFRetryHint = 21,           // fields: {} — unlocked; re-send your elect
+
+  // FT liveness probes (f > 0 only). Mid-run crashes leave handshakes
+  // dangling — a capture, forward, or confirm whose counterpart died never
+  // completes. Timer-driven recovery pings the suspect; any live node
+  // answers with a pong (tag echoed, plus whether it has declared), and
+  // two silent probe intervals condemn it as crashed.
+  kFOwnerPing = 22,           // fields: {tag}
+  kFOwnerPong = 23,           // fields: {tag, leader ? 1 : 0}
 };
 
 struct EfgParams {

@@ -19,6 +19,18 @@
 //      necessarily disjoint, which is impossible for f < (N-1)/2 — so at
 //      most one candidate ever declares, even when fewer than f nodes
 //      actually failed.
+//
+// With f > 0 the engine additionally survives *mid-run* crashes (nodes
+// killed at arbitrary points by a sim::FaultPlan, up to f in total) via
+// timer-driven recovery loops layered on the same message flow: capture
+// watchdogs retry then abandon silent capture targets, broadcast/confirm
+// and first-phase retransmits cover lossy links, lock leases self-release
+// when the lock owner stops pursuing, owner watches re-drive stalled
+// forwards, and a revival watch lets a killed or captured node re-enter
+// the race when the rival that outranked it is itself condemned — so a
+// candidate that kills its rivals and then crashes cannot strand the
+// election. Every loop is capped, and with f = 0 no timer is ever armed:
+// fault-free schedules are bit-identical to protocol G's.
 #pragma once
 
 #include <cstdint>

@@ -23,18 +23,29 @@ struct DeliveryEvent {
   wire::Packet packet;
 };
 
-// A node crashing (used by failure-injection tests; initial failures are
-// modelled by never scheduling the node instead).
+// A node crashing mid-run (scheduled by a FaultPlan's time-triggered
+// crashes; initial failures are modelled by NetworkConfig::failed and
+// never enter the queue).
 struct CrashEvent {
   NodeId node;
 };
+
+// A timer armed via Context::SetTimer firing at `node`. Cancelled timers
+// stay in the queue and are discarded at dispatch.
+struct TimerEvent {
+  NodeId node;
+  TimerId timer;
+};
+
+using EventBody =
+    std::variant<WakeupEvent, DeliveryEvent, CrashEvent, TimerEvent>;
 
 struct Event {
   Time at;
   // Monotone sequence number; breaks ties so the queue is a deterministic
   // total order and simultaneously-scheduled events run in schedule order.
   std::uint64_t seq = 0;
-  std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body;
+  EventBody body;
 };
 
 // Strict-weak ordering for the event queue: earliest time first, then

@@ -4,8 +4,7 @@
 
 namespace celect::sim {
 
-std::uint64_t EventQueue::Push(
-    Time at, std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body) {
+std::uint64_t EventQueue::Push(Time at, EventBody body) {
   std::uint64_t seq = next_seq_++;
   heap_.push(Event{at, seq, std::move(body)});
   return seq;

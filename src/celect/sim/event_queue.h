@@ -17,8 +17,7 @@ class EventQueue {
  public:
   // Schedules `body` at absolute time `at`. Returns the sequence number
   // assigned to the event.
-  std::uint64_t Push(Time at,
-                     std::variant<WakeupEvent, DeliveryEvent, CrashEvent> body);
+  std::uint64_t Push(Time at, EventBody body);
 
   // Pops the earliest event; nullopt when empty.
   std::optional<Event> Pop();

@@ -1,0 +1,97 @@
+#include "celect/sim/fault.h"
+
+#include <algorithm>
+
+#include "celect/util/check.h"
+
+namespace celect::sim {
+
+namespace {
+
+bool IsRate(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+void ValidateFaultPlan(const FaultPlan& plan, std::uint32_t n) {
+  CELECT_CHECK(IsRate(plan.link.loss)) << "loss rate outside [0, 1]";
+  CELECT_CHECK(IsRate(plan.link.duplicate))
+      << "duplication rate outside [0, 1]";
+  CELECT_CHECK(IsRate(plan.link.reorder)) << "reorder rate outside [0, 1]";
+  for (const CrashSpec& c : plan.crashes) {
+    CELECT_CHECK(c.node < n) << "crash victim " << c.node
+                             << " outside network of size " << n;
+    switch (c.trigger) {
+      case CrashSpec::Trigger::kAtTime:
+        CELECT_CHECK(c.at >= Time::Zero()) << "crash scheduled before zero";
+        break;
+      case CrashSpec::Trigger::kAfterSends:
+      case CrashSpec::Trigger::kAfterReceives:
+        CELECT_CHECK(c.count >= 1) << "count triggers are 1-based";
+        break;
+      case CrashSpec::Trigger::kOnMessageType:
+        break;  // any type value is legal; an unused type never fires
+    }
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t n)
+    : plan_(std::move(plan)), pending_(n), sends_(n, 0), receives_(n, 0) {
+  ValidateFaultPlan(plan_, n);
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashSpec& c = plan_.crashes[i];
+    if (c.trigger != CrashSpec::Trigger::kAtTime) {
+      pending_[c.node].push_back(i);
+    }
+  }
+}
+
+std::vector<std::pair<NodeId, Time>> FaultInjector::TimedCrashes() const {
+  std::vector<std::pair<NodeId, Time>> out;
+  for (const CrashSpec& c : plan_.crashes) {
+    if (c.trigger == CrashSpec::Trigger::kAtTime) {
+      out.emplace_back(c.node, c.at);
+    }
+  }
+  return out;
+}
+
+bool FaultInjector::NoteSend(NodeId node) {
+  ++sends_[node];
+  auto& specs = pending_[node];
+  for (auto it = specs.begin(); it != specs.end(); ++it) {
+    const CrashSpec& c = plan_.crashes[*it];
+    if (c.trigger == CrashSpec::Trigger::kAfterSends &&
+        c.count == sends_[node]) {
+      specs.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::DeliveryFate FaultInjector::NoteDelivery(NodeId node,
+                                                        std::uint16_t type) {
+  auto& specs = pending_[node];
+  // Type triggers outrank count triggers: "dies on first capture" should
+  // eat the capture even if this delivery is also the node's k-th.
+  for (auto it = specs.begin(); it != specs.end(); ++it) {
+    const CrashSpec& c = plan_.crashes[*it];
+    if (c.trigger == CrashSpec::Trigger::kOnMessageType &&
+        c.message_type == type) {
+      specs.erase(it);
+      return DeliveryFate::kCrashBeforeProcessing;
+    }
+  }
+  ++receives_[node];
+  for (auto it = specs.begin(); it != specs.end(); ++it) {
+    const CrashSpec& c = plan_.crashes[*it];
+    if (c.trigger == CrashSpec::Trigger::kAfterReceives &&
+        c.count == receives_[node]) {
+      specs.erase(it);
+      return DeliveryFate::kCrashAfterProcessing;
+    }
+  }
+  return DeliveryFate::kProcess;
+}
+
+}  // namespace celect::sim

@@ -1,0 +1,115 @@
+// Fault injection: mid-run crashes and lossy links.
+//
+// The paper's model has two failure stories. *Initial* failures
+// (NetworkConfig::failed) are nodes that were dead before the protocol
+// started: they never wake and silently eat messages — the setting of the
+// §4 BKWZ87 fault-tolerance result. A FaultPlan goes further and kills
+// nodes *during* the run, at an adversarially chosen moment: at an
+// absolute time, after the node's k-th send or k-th receive, or on the
+// first delivery of a given message type (the classic "dies mid-
+// handshake" adversary). A plan may also degrade every link with seeded
+// loss, duplication, and reordering-within-delay-bounds.
+//
+// Crash semantics: a crashed node dispatches nothing from the moment of
+// the crash — pending deliveries, wakeups, and timers addressed to it
+// are swallowed, and any Send it attempts in the remainder of the
+// current handler vanishes. Messages already in flight *from* it are
+// delivered normally (they left before the crash).
+//
+// Everything here is deterministic: the same plan and seed produce the
+// same injected faults, so every chaos run is replayable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "celect/sim/time.h"
+#include "celect/sim/types.h"
+
+namespace celect::sim {
+
+// One scheduled crash. Count/type triggers fire at most once; a node
+// that is already crashed cannot crash again.
+struct CrashSpec {
+  enum class Trigger {
+    kAtTime,         // crash at absolute time `at`
+    kAfterSends,     // crash just after the node's count-th send
+    kAfterReceives,  // crash just after processing the count-th delivery
+    kOnMessageType,  // crash on first delivery of `message_type`,
+                     // *instead of* processing it (mid-handshake death)
+  };
+
+  NodeId node = 0;
+  Trigger trigger = Trigger::kAtTime;
+  Time at = Time::Zero();           // kAtTime
+  std::uint64_t count = 1;          // kAfterSends / kAfterReceives, 1-based
+  std::uint16_t message_type = 0;   // kOnMessageType
+};
+
+// Per-message link degradation rates, decided by seeded RNG at admission
+// time. Loss drops the message after it was sent (the sender still pays
+// for it); duplication delivers a second copy later on the same link
+// (FIFO order preserved); reordering delivers the message at
+// send_time + transit even if that overtakes the link's FIFO backlog —
+// still within the model's one-unit delay bound, but out of order.
+struct LinkFaultProfile {
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+
+  bool Any() const { return loss > 0.0 || duplicate > 0.0 || reorder > 0.0; }
+};
+
+// A complete fault schedule for one run.
+struct FaultPlan {
+  std::vector<CrashSpec> crashes;
+  LinkFaultProfile link;
+  // Seed for the link-fault RNG stream (independent of delay/identity
+  // streams so enabling faults never perturbs the fault-free schedule).
+  std::uint64_t seed = 0;
+
+  bool Empty() const { return crashes.empty() && !link.Any(); }
+};
+
+// Structural validation, deliberately separate from ValidateConfig:
+// initially-failed nodes may not be base nodes (a dead node cannot wake),
+// but a node crashed mid-run by a FaultPlan may legally be one — it
+// lived, woke, participated, and then died. CHECK-fails on out-of-range
+// nodes, rates outside [0, 1], or zero counts.
+void ValidateFaultPlan(const FaultPlan& plan, std::uint32_t n);
+
+// Tracks which crash triggers have fired. The runtime owns one per run
+// and reports sends/deliveries; the injector answers "does this node
+// crash now?". Time triggers are exported once and scheduled as
+// CrashEvents so they land in the deterministic event order.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint32_t n);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // The kAtTime crashes, for up-front scheduling.
+  std::vector<std::pair<NodeId, Time>> TimedCrashes() const;
+
+  // Reports a completed send; true means the node crashes now (later
+  // sends from the same handler must be swallowed by the caller).
+  bool NoteSend(NodeId node);
+
+  // What to do with a delivery about to be handed to `node`.
+  enum class DeliveryFate {
+    kProcess,               // no trigger: process normally
+    kCrashBeforeProcessing, // kOnMessageType: the message dies with the node
+    kCrashAfterProcessing,  // kAfterReceives: process, then crash
+  };
+  DeliveryFate NoteDelivery(NodeId node, std::uint16_t type);
+
+ private:
+  FaultPlan plan_;
+  // Indices into plan_.crashes of unfired count/type triggers, per node.
+  std::vector<std::vector<std::size_t>> pending_;
+  std::vector<std::uint64_t> sends_;
+  std::vector<std::uint64_t> receives_;
+};
+
+}  // namespace celect::sim

@@ -6,35 +6,66 @@
 // sent, and computes arrival times that respect FIFO and the delay
 // model's spacing choices. Storage is a hash map so memory is
 // O(messages), not O(N²).
+//
+// When a FaultPlan enables link faults, Admit draws from a dedicated
+// seeded RNG to decide, per message, whether it is lost (never arrives;
+// FIFO backlog unaffected), duplicated (a second copy arrives later, in
+// FIFO order), or reordered (arrives at send_time + transit even if that
+// overtakes the backlog — still within the one-unit delay bound). With
+// faults disabled no RNG is drawn and behaviour is bit-identical to the
+// fault-free simulator.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "celect/sim/delay_model.h"
+#include "celect/sim/fault.h"
 #include "celect/sim/time.h"
 #include "celect/sim/types.h"
+#include "celect/util/rng.h"
 
 namespace celect::sim {
+
+// The outcome of admitting one message onto a link.
+struct Admission {
+  bool lost = false;       // injected loss: nothing will arrive
+  bool reordered = false;  // arrival bypassed the FIFO backlog
+  Time arrival;            // valid when !lost
+  // Arrival of the injected duplicate copy, if one was scheduled.
+  std::optional<Time> duplicate_arrival;
+};
 
 class LinkTable {
  public:
   explicit LinkTable(std::uint32_t n) : n_(n) {}
 
+  // Turns on per-message fault draws with the given rates and RNG seed.
+  void EnableFaults(const LinkFaultProfile& profile, std::uint64_t seed);
+
   // Computes the arrival time for a message sent at `send_time` from
   // `from` to `to` with the given delay decision, updates FIFO state, and
   // returns the arrival time. CHECKs that the result never reorders the
-  // link.
+  // link. Bypasses fault injection — the deterministic baseline path.
   Time Admit(NodeId from, NodeId to, Time send_time,
              const DelayDecision& d);
 
-  // Messages sent so far on the directed link from→to.
+  // Admit with fault draws (loss / duplication / reordering). Equivalent
+  // to Admit when faults are disabled.
+  Admission AdmitWithFaults(NodeId from, NodeId to, Time send_time,
+                            const DelayDecision& d);
+
+  // Messages sent so far on the directed link from→to (lost ones
+  // included — they were sent and paid for).
   std::uint64_t SentCount(NodeId from, NodeId to) const;
 
-  // Arrival time of the most recent message on from→to (Zero if none).
+  // Arrival time of the most recent FIFO-ordered message on from→to
+  // (Zero if none).
   Time LastArrival(NodeId from, NodeId to) const;
 
   // The runtime reports each delivery so in-flight counts stay accurate.
+  // Lost messages never arrive and must not be reported.
   void NotifyDelivered(NodeId from, NodeId to);
 
   // The largest per-directed-link message count seen (congestion metric).
@@ -57,10 +88,17 @@ class LinkTable {
     return static_cast<std::uint64_t>(from) * n_ + to;
   }
 
+  // The FIFO-respecting admission core shared by both entry points.
+  Time AdmitOrdered(State& s, Time send_time, const DelayDecision& d);
+
   std::uint32_t n_;
   std::unordered_map<std::uint64_t, State> state_;
   std::uint64_t max_load_ = 0;
   std::uint64_t max_inflight_ = 0;
+
+  LinkFaultProfile faults_;
+  bool faults_enabled_ = false;
+  Rng fault_rng_;
 };
 
 }  // namespace celect::sim

@@ -12,7 +12,28 @@ void Metrics::RecordSend(std::uint16_t type, std::size_t bytes) {
 
 void Metrics::RecordDelivery() { ++messages_delivered_; }
 
-void Metrics::RecordDrop() { ++messages_dropped_; }
+void Metrics::RecordDrop(DropCause cause) {
+  switch (cause) {
+    case DropCause::kCrashedDestination:
+      ++dropped_to_crashed_;
+      break;
+    case DropCause::kInjectedLoss:
+      ++dropped_to_loss_;
+      break;
+  }
+}
+
+void Metrics::RecordDuplicate() { ++messages_duplicated_; }
+
+void Metrics::RecordReorder() { ++messages_reordered_; }
+
+void Metrics::RecordCrash() { ++crashes_injected_; }
+
+void Metrics::RecordTimerSet() { ++timers_set_; }
+
+void Metrics::RecordTimerFired() { ++timers_fired_; }
+
+void Metrics::RecordTimerCancelled() { ++timers_cancelled_; }
 
 void Metrics::RecordLeader(NodeId node, Id id, Time at) {
   if (leader_declarations_ == 0) {

@@ -1,5 +1,6 @@
 // Run accounting: message counts, bytes on the wire, per-type breakdown,
-// leader declarations, and protocol-specific counters.
+// leader declarations, fault-injection tallies, and protocol-specific
+// counters.
 #pragma once
 
 #include <cstdint>
@@ -12,18 +13,42 @@
 
 namespace celect::sim {
 
+// Why a sent message never reached its process. Split so fault-injection
+// runs can tell "ate by a dead node" from "injected link loss".
+enum class DropCause {
+  kCrashedDestination,  // destination failed initially or crashed mid-run
+  kInjectedLoss,        // FaultPlan link loss
+};
+
 class Metrics {
  public:
   void RecordSend(std::uint16_t type, std::size_t bytes);
   void RecordDelivery();
-  void RecordDrop();  // message to a failed node
+  void RecordDrop(DropCause cause);
+  void RecordDuplicate();
+  void RecordReorder();
+  void RecordCrash();
+  void RecordTimerSet();
+  void RecordTimerFired();
+  void RecordTimerCancelled();
   void RecordLeader(NodeId node, Id id, Time at);
   void AddCounter(const std::string& name, std::int64_t delta);
   void MaxCounter(const std::string& name, std::int64_t value);
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  // Total drops, all causes.
+  std::uint64_t messages_dropped() const {
+    return dropped_to_crashed_ + dropped_to_loss_;
+  }
+  std::uint64_t dropped_to_crashed() const { return dropped_to_crashed_; }
+  std::uint64_t dropped_to_loss() const { return dropped_to_loss_; }
+  std::uint64_t messages_duplicated() const { return messages_duplicated_; }
+  std::uint64_t messages_reordered() const { return messages_reordered_; }
+  std::uint64_t crashes_injected() const { return crashes_injected_; }
+  std::uint64_t timers_set() const { return timers_set_; }
+  std::uint64_t timers_fired() const { return timers_fired_; }
+  std::uint64_t timers_cancelled() const { return timers_cancelled_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   const std::map<std::uint16_t, std::uint64_t>& by_type() const {
     return by_type_;
@@ -40,7 +65,14 @@ class Metrics {
  private:
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
-  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t dropped_to_crashed_ = 0;
+  std::uint64_t dropped_to_loss_ = 0;
+  std::uint64_t messages_duplicated_ = 0;
+  std::uint64_t messages_reordered_ = 0;
+  std::uint64_t crashes_injected_ = 0;
+  std::uint64_t timers_set_ = 0;
+  std::uint64_t timers_fired_ = 0;
+  std::uint64_t timers_cancelled_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::map<std::uint16_t, std::uint64_t> by_type_;
   std::map<std::string, std::int64_t> counters_;

@@ -51,10 +51,13 @@ void ValidateConfig(const NetworkConfig& config) {
     CELECT_CHECK(node < config.n);
     CELECT_CHECK(at >= Time::Zero());
     if (!config.failed.empty()) {
+      // Only *initial* failures are barred from the base set; a FaultPlan
+      // may crash a base node mid-run (it wakes, runs, then dies).
       CELECT_CHECK(!config.failed[node])
-          << "failed node " << node << " cannot be a base node";
+          << "initially-failed node " << node << " cannot be a base node";
     }
   }
+  ValidateFaultPlan(config.faults, config.n);
 }
 
 }  // namespace celect::sim

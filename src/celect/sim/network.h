@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "celect/sim/delay_model.h"
+#include "celect/sim/fault.h"
 #include "celect/sim/port_mapper.h"
 #include "celect/sim/types.h"
 #include "celect/sim/wakeup_policy.h"
@@ -21,9 +22,17 @@ struct NetworkConfig {
   std::unique_ptr<PortMapper> mapper;
   std::unique_ptr<DelayModel> delays;
   WakeupPlan wakeup;
-  // failed[address]: initially-crashed nodes — they never wake and every
-  // message to them vanishes. Empty means no failures.
+  // failed[address]: *initially*-crashed nodes — they never wake and
+  // every message to them vanishes. Empty means no failures. A node
+  // listed here may not appear in the wakeup plan (a dead node cannot be
+  // a base node; ValidateConfig CHECK-fails on that).
   std::vector<bool> failed;
+  // Mid-run faults: crashes at adversarially chosen moments plus lossy
+  // links. Distinct from `failed` above — a node crashed mid-run by the
+  // plan may legally be a base node (it lived, woke, participated, then
+  // died), so fault plans are validated by ValidateFaultPlan, not by the
+  // base-node rule. Empty plan means a fault-free run.
+  FaultPlan faults;
 };
 
 // Identity assignments.
@@ -33,8 +42,11 @@ std::vector<Id> IdentitiesRandom(std::uint32_t n, Rng& rng);
 // assumption that protocols compare, never index by, identity.
 std::vector<Id> IdentitiesSparse(std::uint32_t n, Rng& rng);
 
-// Validates a config (sizes, uniqueness of identities) — CHECK-fails on
-// structural errors; call before Runtime construction in tests.
+// Validates a config (sizes, uniqueness of identities, no failed base
+// nodes) — CHECK-fails on structural errors; call before Runtime
+// construction in tests. The embedded FaultPlan is validated too, under
+// its own rules (see ValidateFaultPlan in fault.h: mid-run crash victims
+// may be base nodes).
 void ValidateConfig(const NetworkConfig& config);
 
 }  // namespace celect::sim

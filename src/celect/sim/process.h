@@ -5,11 +5,14 @@
 // packets that arrive. It cannot read neighbour identities off a port —
 // learning them costs messages, which is the whole game.
 //
-// Processes are purely message-driven (the paper's protocols use no
+// The paper's protocols are purely message-driven (they use no
 // timeouts): the runtime calls OnWakeup for spontaneous wakeups of base
 // nodes and OnMessage for deliveries. Passive nodes receive OnMessage
 // without ever getting OnWakeup — the paper's "wakes up on receiving a
-// message of the protocol".
+// message of the protocol". Timers (SetTimer/OnTimer) exist for
+// protocols that must survive mid-run crashes: timeout-and-retry is the
+// only way to make progress past a peer that died mid-handshake. A
+// protocol that never arms a timer behaves exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +53,15 @@ class Context {
   // Sends on all N-1 ports (protocol D's broadcast).
   virtual void SendAll(wire::Packet p) = 0;
 
+  // Arms a one-shot timer firing `delay` from now via Process::OnTimer.
+  // Returns a handle for CancelTimer. A timer on a node that crashes
+  // before it fires is swallowed.
+  virtual TimerId SetTimer(Time delay) = 0;
+
+  // Cancels a timer armed by this node. Cancelling an already-fired or
+  // already-cancelled timer is a no-op.
+  virtual void CancelTimer(TimerId timer) = 0;
+
   // Announces this node as the leader. The runtime records every
   // declaration; the single-leader invariant is checked by callers.
   virtual void DeclareLeader() = 0;
@@ -73,6 +85,13 @@ class Process {
   // A packet arrived on `from_port`. Replies go back on the same port.
   virtual void OnMessage(Context& ctx, Port from_port,
                          const wire::Packet& p) = 0;
+
+  // A timer armed via Context::SetTimer fired. Default: ignore (the
+  // paper's protocols never arm one).
+  virtual void OnTimer(Context& ctx, TimerId timer) {
+    (void)ctx;
+    (void)timer;
+  }
 
   // Human-readable snapshot of protocol state, for post-mortems and
   // debugging tools. Optional.

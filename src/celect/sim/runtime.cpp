@@ -37,6 +37,12 @@ class Runtime::ContextImpl : public Context {
     }
   }
 
+  TimerId SetTimer(Time delay) override {
+    return rt_.ScheduleTimer(node_, delay);
+  }
+
+  void CancelTimer(TimerId timer) override { rt_.CancelTimer(timer); }
+
   void DeclareLeader() override {
     rt_.metrics_.RecordLeader(node_, id(), rt_.now_);
     rt_.trace_.Record({TraceRecord::Kind::kLeader, rt_.now_, node_, node_,
@@ -73,6 +79,21 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
     processes_.push_back(factory(ProcessInit{i, ids_[i], config_.n}));
     CELECT_CHECK(processes_.back() != nullptr);
   }
+  failed_ = config_.failed.empty() ? std::vector<bool>(config_.n, false)
+                                   : config_.failed;
+  CELECT_CHECK(failed_.size() == config_.n);
+  if (!config_.faults.Empty()) {
+    ValidateFaultPlan(config_.faults, config_.n);
+    injector_ = std::make_unique<FaultInjector>(config_.faults, config_.n);
+    for (const auto& [node, at] : injector_->TimedCrashes()) {
+      queue_.Push(at, CrashEvent{node});
+    }
+    if (config_.faults.link.Any()) {
+      // Stream-split off the plan seed so link faults never perturb the
+      // delay/identity RNG streams.
+      links_.EnableFaults(config_.faults.link, config_.faults.seed);
+    }
+  }
   for (const auto& [node, at] : config_.wakeup.wakeups) {
     queue_.Push(at, WakeupEvent{node});
   }
@@ -85,7 +106,32 @@ Process& Runtime::process(NodeId address) {
   return *processes_[address];
 }
 
+TimerId Runtime::ScheduleTimer(NodeId node, Time delay) {
+  CELECT_CHECK(delay >= Time::Zero()) << "timer delay must be non-negative";
+  TimerId id = ++next_timer_;
+  active_timers_.insert(id);
+  queue_.Push(now_ + delay, TimerEvent{node, id});
+  metrics_.RecordTimerSet();
+  trace_.Record({TraceRecord::Kind::kTimerSet, now_, node, node,
+                 kInvalidPort, 0, id});
+  return id;
+}
+
+void Runtime::CancelTimer(TimerId timer) {
+  if (active_timers_.erase(timer) > 0) metrics_.RecordTimerCancelled();
+}
+
+void Runtime::MarkCrashed(NodeId node) {
+  if (failed_[node]) return;  // already dead; triggers fire at most once
+  failed_[node] = true;
+  metrics_.RecordCrash();
+  trace_.Record({TraceRecord::Kind::kCrash, now_, node, node, kInvalidPort,
+                 0, 0});
+}
+
 void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
+  // A node that crashed earlier in this very handler sends nothing more.
+  if (failed_[from]) return;
   CELECT_CHECK(port >= 1 && port <= config_.n - 1)
       << "node " << from << " sent on invalid port " << port;
   PortMapper& mapper = *config_.mapper;
@@ -109,38 +155,93 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
   trace_.Record({TraceRecord::Kind::kSend, now_, from, to, port,
                  packet.type, 0});
 
-  if (!config_.failed.empty() && config_.failed[to]) {
-    metrics_.RecordDrop();
-    return;  // crashed nodes silently eat messages
-  }
+  // A send-count crash trigger fires *after* this send completes: the
+  // message still goes out, later sends in the same handler do not.
+  const bool crash_sender = injector_ && injector_->NoteSend(from);
 
-  const MessageInfo info{from, to, now_, links_.SentCount(from, to),
-                         &packet};
-  DelayDecision d = config_.delays->Decide(info);
-  Time arrival = links_.Admit(from, to, now_, d);
-  Port arrival_port = mapper.PortToward(to, from);
-  queue_.Push(arrival, DeliveryEvent{from, to, arrival_port,
-                                     std::move(packet)});
+  if (failed_[to]) {
+    metrics_.RecordDrop(DropCause::kCrashedDestination);
+    trace_.Record({TraceRecord::Kind::kDrop, now_, to, from, kInvalidPort,
+                   packet.type, 0});
+  } else {
+    const MessageInfo info{from, to, now_, links_.SentCount(from, to),
+                           &packet};
+    DelayDecision d = config_.delays->Decide(info);
+    Admission adm = links_.AdmitWithFaults(from, to, now_, d);
+    if (adm.lost) {
+      metrics_.RecordDrop(DropCause::kInjectedLoss);
+      trace_.Record({TraceRecord::Kind::kLoss, now_, to, from,
+                     kInvalidPort, packet.type, 0});
+    } else {
+      if (adm.reordered) metrics_.RecordReorder();
+      Port arrival_port = mapper.PortToward(to, from);
+      if (adm.duplicate_arrival) {
+        metrics_.RecordDuplicate();
+        trace_.Record({TraceRecord::Kind::kDuplicate, now_, to, from,
+                       kInvalidPort, packet.type, 0});
+        queue_.Push(*adm.duplicate_arrival,
+                    DeliveryEvent{from, to, arrival_port, packet});
+      }
+      queue_.Push(adm.arrival, DeliveryEvent{from, to, arrival_port,
+                                             std::move(packet)});
+    }
+  }
+  if (crash_sender) MarkCrashed(from);
 }
 
 void Runtime::Dispatch(const Event& e) {
+  // A cancelled (or crashed-node) timer still pops from the queue; it
+  // must not advance the clock, or quiesce_time would stretch to the
+  // deadline of a timer that never fired.
+  if (const auto* t = std::get_if<TimerEvent>(&e.body)) {
+    if (active_timers_.erase(t->timer) == 0) return;  // cancelled
+    if (failed_[t->node]) return;  // timers die with their node
+    now_ = e.at;
+    metrics_.RecordTimerFired();
+    trace_.Record({TraceRecord::Kind::kTimerFire, now_, t->node, t->node,
+                   kInvalidPort, 0, t->timer});
+    ContextImpl ctx(*this, t->node);
+    processes_[t->node]->OnTimer(ctx, t->timer);
+    return;
+  }
   now_ = e.at;
   if (const auto* w = std::get_if<WakeupEvent>(&e.body)) {
+    if (failed_[w->node]) return;  // crashed before its wakeup fired
     trace_.Record({TraceRecord::Kind::kWakeup, now_, w->node, w->node,
                    kInvalidPort, 0, 0});
     ContextImpl ctx(*this, w->node);
     processes_[w->node]->OnWakeup(ctx);
   } else if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
+    // The link hands the message over either way — in-flight accounting
+    // must stay exact even when the destination is gone.
     links_.NotifyDelivered(d->from, d->to);
+    if (failed_[d->to]) {
+      metrics_.RecordDrop(DropCause::kCrashedDestination);
+      trace_.Record({TraceRecord::Kind::kDrop, now_, d->to, d->from,
+                     d->arrival_port, d->packet.type, 0});
+      return;
+    }
+    auto fate = injector_ ? injector_->NoteDelivery(d->to, d->packet.type)
+                          : FaultInjector::DeliveryFate::kProcess;
+    if (fate == FaultInjector::DeliveryFate::kCrashBeforeProcessing) {
+      // Mid-handshake death: the node dies with the message unread.
+      MarkCrashed(d->to);
+      metrics_.RecordDrop(DropCause::kCrashedDestination);
+      trace_.Record({TraceRecord::Kind::kDrop, now_, d->to, d->from,
+                     d->arrival_port, d->packet.type, 0});
+      return;
+    }
     config_.mapper->MarkTraversed(d->to, d->arrival_port);
     metrics_.RecordDelivery();
     trace_.Record({TraceRecord::Kind::kDeliver, now_, d->to, d->from,
                    d->arrival_port, d->packet.type, 0});
     ContextImpl ctx(*this, d->to);
     processes_[d->to]->OnMessage(ctx, d->arrival_port, d->packet);
+    if (fate == FaultInjector::DeliveryFate::kCrashAfterProcessing) {
+      MarkCrashed(d->to);
+    }
   } else if (const auto* c = std::get_if<CrashEvent>(&e.body)) {
-    if (config_.failed.empty()) config_.failed.assign(config_.n, false);
-    config_.failed[c->node] = true;
+    MarkCrashed(c->node);
   }
 }
 
@@ -169,8 +270,24 @@ RunResult Runtime::Run() {
   r.events_processed = events;
   r.max_link_load = links_.MaxLinkLoad();
   r.max_link_inflight = links_.MaxLinkInflight();
+  r.faults_injected = metrics_.crashes_injected();
+  r.messages_lost = metrics_.dropped_to_loss();
+  r.messages_duplicated = metrics_.messages_duplicated();
+  r.messages_reordered = metrics_.messages_reordered();
+  r.timers_set = metrics_.timers_set();
+  r.timers_fired = metrics_.timers_fired();
   r.messages_by_type = metrics_.by_type();
   r.counters = metrics_.counters();
+  // Per-cause drop counters ride in the generic counter map so harness
+  // tables and fingerprints pick them up without schema changes.
+  if (metrics_.dropped_to_crashed() > 0) {
+    r.counters["sim.dropped_to_crashed"] =
+        static_cast<std::int64_t>(metrics_.dropped_to_crashed());
+  }
+  if (metrics_.dropped_to_loss() > 0) {
+    r.counters["sim.dropped_to_loss"] =
+        static_cast<std::int64_t>(metrics_.dropped_to_loss());
+  }
   return r;
 }
 

@@ -3,14 +3,23 @@
 // Drives the event queue to quiescence: wakeups fire OnWakeup on base
 // nodes; every Context::Send admits the packet through the LinkTable
 // (FIFO + delay-model arrival) and schedules a DeliveryEvent; deliveries
-// fire OnMessage. The run ends when the queue drains (protocols here are
-// finite) or the event budget is exceeded (treated as a protocol bug).
+// fire OnMessage; timers armed via Context::SetTimer fire OnTimer. The
+// run ends when the queue drains (protocols here are finite) or the
+// event budget is exceeded (treated as a protocol bug).
+//
+// Fault injection: NetworkConfig::faults schedules mid-run crashes
+// (CrashEvents plus send/receive-triggered crashes checked inline) and
+// per-message link loss/duplication/reordering. A crashed node stops
+// dispatching — queued deliveries, wakeups, and timers addressed to it
+// are swallowed and accounted as drops.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <unordered_set>
 
 #include "celect/sim/event_queue.h"
+#include "celect/sim/fault.h"
 #include "celect/sim/link.h"
 #include "celect/sim/metrics.h"
 #include "celect/sim/network.h"
@@ -43,6 +52,13 @@ struct RunResult {
   std::uint64_t events_processed = 0;
   std::uint64_t max_link_load = 0;
   std::uint64_t max_link_inflight = 0;
+  // Fault-injection accounting (all zero on fault-free runs).
+  std::uint64_t faults_injected = 0;      // mid-run crashes that fired
+  std::uint64_t messages_lost = 0;        // injected link loss
+  std::uint64_t messages_duplicated = 0;  // injected duplicates
+  std::uint64_t messages_reordered = 0;   // FIFO-overtaking deliveries
+  std::uint64_t timers_set = 0;
+  std::uint64_t timers_fired = 0;
   std::map<std::uint16_t, std::uint64_t> messages_by_type;
   std::map<std::string, std::int64_t> counters;
 };
@@ -63,6 +79,9 @@ class Runtime {
   const Metrics& metrics() const { return metrics_; }
   const Trace& trace() const { return trace_; }
   const NetworkConfig& config() const { return config_; }
+  // failed[address] after the run: initial failures plus every mid-run
+  // crash that fired.
+  const std::vector<bool>& failed() const { return failed_; }
 
   // The process at `address` — tests use this to assert protocol state.
   Process& process(NodeId address);
@@ -73,6 +92,9 @@ class Runtime {
 
   void Dispatch(const Event& e);
   void SendFrom(NodeId from, Port port, wire::Packet packet);
+  TimerId ScheduleTimer(NodeId node, Time delay);
+  void CancelTimer(TimerId timer);
+  void MarkCrashed(NodeId node);
 
   NetworkConfig config_;
   RuntimeOptions options_;
@@ -85,6 +107,16 @@ class Runtime {
   Time now_ = Time::Zero();
   bool ran_ = false;
   bool stop_requested_ = false;
+
+  // Failure state: seeded from config_.failed, extended by mid-run
+  // crashes. Never shrinks.
+  std::vector<bool> failed_;
+  std::unique_ptr<FaultInjector> injector_;
+
+  // Live timers; a fired or cancelled timer leaves the set, so stale
+  // TimerEvents are discarded at dispatch.
+  std::unordered_set<TimerId> active_timers_;
+  TimerId next_timer_ = kInvalidTimer;
 };
 
 }  // namespace celect::sim

@@ -36,6 +36,24 @@ std::string Trace::ToString(std::size_t max_lines) const {
       case TraceRecord::Kind::kLeader:
         kind = "LEAD";
         break;
+      case TraceRecord::Kind::kCrash:
+        kind = "CRSH";
+        break;
+      case TraceRecord::Kind::kDrop:
+        kind = "drop";
+        break;
+      case TraceRecord::Kind::kLoss:
+        kind = "loss";
+        break;
+      case TraceRecord::Kind::kDuplicate:
+        kind = "dupe";
+        break;
+      case TraceRecord::Kind::kTimerSet:
+        kind = "tset";
+        break;
+      case TraceRecord::Kind::kTimerFire:
+        kind = "fire";
+        break;
     }
     os << r.at.ToString() << " " << kind << " node=" << r.node
        << " peer=" << r.peer << " port=" << r.port << " type=" << r.type

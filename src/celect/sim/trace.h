@@ -12,7 +12,18 @@
 namespace celect::sim {
 
 struct TraceRecord {
-  enum class Kind { kSend, kDeliver, kWakeup, kLeader };
+  enum class Kind {
+    kSend,
+    kDeliver,
+    kWakeup,
+    kLeader,
+    kCrash,      // node crashed mid-run (fault injection)
+    kDrop,       // delivery swallowed by a crashed/failed destination
+    kLoss,       // injected link loss
+    kDuplicate,  // injected duplicate delivery scheduled
+    kTimerSet,   // node armed a timer
+    kTimerFire,  // timer fired at node
+  };
   Kind kind;
   Time at;
   NodeId node;           // acting node

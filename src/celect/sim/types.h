@@ -20,4 +20,10 @@ using Port = std::uint32_t;
 
 inline constexpr Port kInvalidPort = 0;
 
+// Handle for a timer armed via Context::SetTimer. Ids are unique per run
+// and never reused; 0 is never a live timer.
+using TimerId = std::uint64_t;
+
+inline constexpr TimerId kInvalidTimer = 0;
+
 }  // namespace celect::sim

@@ -46,6 +46,13 @@ class MockContext : public sim::Context {
       sent_.push_back({port, p});
     }
   }
+  sim::TimerId SetTimer(sim::Time delay) override {
+    timers_.push_back({++last_timer_, now_ + delay});
+    return last_timer_;
+  }
+  void CancelTimer(sim::TimerId timer) override {
+    std::erase_if(timers_, [timer](const auto& t) { return t.id == timer; });
+  }
   void DeclareLeader() override { ++leader_declarations_; }
   void AddCounter(std::string_view, std::int64_t) override {}
   void MaxCounter(std::string_view, std::int64_t) override {}
@@ -57,6 +64,13 @@ class MockContext : public sim::Context {
   const std::vector<SentPacket>& sent() const { return sent_; }
   std::size_t sent_count() const { return sent_.size(); }
   std::uint32_t leader_declarations() const { return leader_declarations_; }
+
+  // Armed (not yet cancelled) timers, in arming order.
+  struct ArmedTimer {
+    sim::TimerId id;
+    sim::Time deadline;
+  };
+  const std::vector<ArmedTimer>& timers() const { return timers_; }
 
   // Drops recorded traffic (typically after asserting on it).
   void ClearSent() { sent_.clear(); }
@@ -86,6 +100,8 @@ class MockContext : public sim::Context {
   sim::Time now_;
   sim::Port next_fresh_ = 1;
   std::vector<SentPacket> sent_;
+  std::vector<ArmedTimer> timers_;
+  sim::TimerId last_timer_ = sim::kInvalidTimer;
   std::uint32_t leader_declarations_ = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "celect/harness/chaos.h"
 #include "celect/proto/nosod/protocol_g.h"
 #include "test_util.h"
 
@@ -144,6 +145,80 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.budget) + "_actual" +
              std::to_string(info.param.actual);
     });
+
+// --- mid-run crashes (chaos harness) ---------------------------------
+//
+// The initial-failure tests above exercise the §4 BKWZ87 budget; these
+// kill up to f nodes *during* the run, at seed-chosen adversarial
+// moments (absolute times, send/receive counts, first capture-type
+// message), and require that a unique leader is still declared — by a
+// node that is alive at quiescence.
+
+TEST(FaultTolerantChaos, UniqueLiveLeaderUnderMidRunCrashes) {
+  harness::ChaosOptions opt;
+  opt.n = 16;
+  opt.max_crashes = 2;
+  auto sweep =
+      harness::SweepChaos(MakeFaultTolerant(2), /*seed0=*/100, 25, opt);
+  EXPECT_GT(sweep.crashes_injected, 0u);
+  for (const auto& v : sweep.violations) {
+    ADD_FAILURE() << harness::Describe(v);
+  }
+}
+
+TEST(FaultTolerantChaos, SurvivesCrashesPlusLossyLinks) {
+  harness::ChaosOptions opt;
+  opt.n = 16;
+  opt.max_crashes = 2;
+  opt.loss = 0.03;
+  auto sweep =
+      harness::SweepChaos(MakeFaultTolerant(2), /*seed0=*/500, 20, opt);
+  EXPECT_GT(sweep.messages_lost, 0u);
+  EXPECT_GT(sweep.timers_fired, 0u);  // loss recovery is timer-driven
+  for (const auto& v : sweep.violations) {
+    ADD_FAILURE() << harness::Describe(v);
+  }
+}
+
+TEST(FaultTolerantChaos, HigherBudgetTakesMoreCrashes) {
+  harness::ChaosOptions opt;
+  opt.n = 24;
+  opt.max_crashes = 4;
+  auto sweep =
+      harness::SweepChaos(MakeFaultTolerant(4), /*seed0=*/900, 20, opt);
+  for (const auto& v : sweep.violations) {
+    ADD_FAILURE() << harness::Describe(v);
+  }
+}
+
+TEST(FaultTolerantChaos, SafetyHoldsBeyondTheBudget) {
+  // Three crashes against f=1: liveness may be lost (and usually is),
+  // but there must never be two leaders, and a declared leader must not
+  // be a crashed node.
+  harness::ChaosOptions opt;
+  opt.n = 16;
+  opt.max_crashes = 3;
+  opt.require_leader = false;
+  auto sweep =
+      harness::SweepChaos(MakeFaultTolerant(1), /*seed0=*/2000, 20, opt);
+  for (const auto& v : sweep.violations) {
+    ADD_FAILURE() << harness::Describe(v);
+  }
+}
+
+TEST(FaultTolerantChaos, FaultFreeRunArmsTimersOnlyUnderFtBudget) {
+  // With f = 0 the FT engine is protocol G: no timer is ever armed, so
+  // the fault machinery cannot perturb fault-free benchmarks.
+  harness::RunOptions o;
+  o.n = 16;
+  o.mapper = MapperKind::kRandom;
+  auto r0 = harness::RunElection(MakeFaultTolerant(0), o);
+  EXPECT_EQ(r0.timers_set, 0u);
+  // With f > 0 timers arm (watchdogs) but a clean run never fires one
+  // late enough to matter: every armed timer is cancelled or absorbed.
+  auto r1 = harness::RunElection(MakeFaultTolerant(2), o);
+  EXPECT_EQ(r1.leader_declarations, 1u);
+}
 
 }  // namespace
 }  // namespace celect::proto::nosod

@@ -548,10 +548,10 @@ TEST(EfgUnit, FtConfirmRoundLocksAndReleases) {
   EXPECT_EQ(ctx.single().packet.type, nosod::kFConfirmReject);
   ctx.ClearSent();
   // Release from a non-owner port is ignored.
-  node->OnMessage(ctx, 5, Packet{nosod::kFRelease, {}});
+  node->OnMessage(ctx, 5, Packet{nosod::kFRelease, {0}});
   EXPECT_EQ(ctx.sent_count(), 0u);
   // Release from the owner unlocks and hints the strongest rejected.
-  node->OnMessage(ctx, 1, Packet{nosod::kFRelease, {}});
+  node->OnMessage(ctx, 1, Packet{nosod::kFRelease, {0}});
   const auto& hint = ctx.single();
   EXPECT_EQ(hint.packet.type, nosod::kFRetryHint);
   EXPECT_EQ(hint.port, 2u);

@@ -97,6 +97,118 @@ TEST(LinkTable, ReverseDirectionUnaffectedByForwardLoad) {
   EXPECT_EQ(back, Time::FromUnits(1));
 }
 
+TEST(LinkTable, InjectedLossCountsAsSentButNeverArrives) {
+  LinkTable links(4);
+  links.EnableFaults({/*loss=*/1.0, 0.0, 0.0}, /*seed=*/7);
+  for (int i = 0; i < 20; ++i) {
+    Admission a = links.AdmitWithFaults(0, 1, Time::Zero(), {kUnit, kUnit});
+    EXPECT_TRUE(a.lost);
+    EXPECT_FALSE(a.duplicate_arrival.has_value());
+  }
+  // Lost messages were sent (and paid for) but are never in flight, and
+  // they leave the FIFO backlog untouched.
+  EXPECT_EQ(links.SentCount(0, 1), 20u);
+  EXPECT_EQ(links.MaxLinkLoad(), 20u);
+  EXPECT_EQ(links.MaxLinkInflight(), 0u);
+  EXPECT_EQ(links.LastArrival(0, 1), Time::Zero());
+}
+
+TEST(LinkTable, DuplicationPreservesFifoAndInflightAccounting) {
+  LinkTable links(4);
+  links.EnableFaults({0.0, /*duplicate=*/1.0, 0.0}, /*seed=*/7);
+  Time prev = Time::Zero();
+  for (int i = 0; i < 10; ++i) {
+    Admission a = links.AdmitWithFaults(0, 1, Time::Zero(), {kUnit, kUnit});
+    ASSERT_FALSE(a.lost);
+    ASSERT_TRUE(a.duplicate_arrival.has_value());
+    // The duplicate is one more FIFO-ordered message: it never overtakes
+    // the original, and successive admissions never go backwards.
+    EXPECT_GE(a.arrival, prev);
+    EXPECT_GE(*a.duplicate_arrival, a.arrival);
+    prev = *a.duplicate_arrival;
+  }
+  // Both copies of every message count against load and in-flight.
+  EXPECT_EQ(links.SentCount(0, 1), 20u);
+  EXPECT_EQ(links.MaxLinkInflight(), 20u);
+  // Delivering every copy drains the link exactly.
+  for (int i = 0; i < 20; ++i) links.NotifyDelivered(0, 1);
+}
+
+TEST(LinkTable, FifoHoldsForDeliveredMessagesUnderMixedFaults) {
+  // Loss and duplication together: whatever actually arrives must still
+  // arrive in admission order (no reordering was enabled).
+  LinkTable links(4);
+  links.EnableFaults({/*loss=*/0.3, /*duplicate=*/0.3, 0.0}, /*seed=*/99);
+  Rng delays(4242);
+  Time prev = Time::Zero();
+  std::uint64_t inflight = 0, delivered = 0, lost = 0;
+  for (int i = 0; i < 500; ++i) {
+    Time send = Time::FromTicks(i * 100);
+    Time transit = Time::FromTicks(
+        1 + static_cast<std::int64_t>(delays.NextBelow(Time::kTicksPerUnit)));
+    Admission a = links.AdmitWithFaults(0, 1, send, {transit, Time::Zero()});
+    if (a.lost) {
+      ++lost;
+      continue;
+    }
+    EXPECT_GE(a.arrival, prev);
+    prev = a.arrival;
+    ++inflight;
+    if (a.duplicate_arrival) {
+      EXPECT_GE(*a.duplicate_arrival, prev);
+      prev = *a.duplicate_arrival;
+      ++inflight;
+    }
+  }
+  EXPECT_GT(lost, 0u);
+  EXPECT_GT(inflight, 0u);
+  EXPECT_LE(links.MaxLinkInflight(), inflight);
+  // Every non-lost copy can be delivered; the CHECK inside
+  // NotifyDelivered would fire if loss had corrupted the accounting.
+  for (; delivered < inflight; ++delivered) links.NotifyDelivered(0, 1);
+}
+
+TEST(LinkTable, ReorderedMessageOvertakesBacklogWithinDelayBound) {
+  {
+    // An empty link has nothing to overtake: even at rate 1.0 the first
+    // message is delivered in order.
+    LinkTable empty(4);
+    empty.EnableFaults({0.0, 0.0, /*reorder=*/1.0}, /*seed=*/3);
+    EXPECT_FALSE(
+        empty.AdmitWithFaults(0, 1, Time::Zero(), {kUnit, kUnit}).reordered);
+  }
+  LinkTable links(4);
+  // Build a backlog fault-free: five unit-spaced messages, last at t=5.
+  for (int i = 0; i < 5; ++i) {
+    links.Admit(0, 1, Time::Zero(), {kUnit, kUnit});
+  }
+  EXPECT_EQ(links.LastArrival(0, 1), Time::FromUnits(5));
+  links.EnableFaults({0.0, 0.0, /*reorder=*/1.0}, /*seed=*/3);
+  // The next message overtakes the backlog but still respects the
+  // one-unit transit bound, and the FIFO baseline never moves backwards.
+  Admission a = links.AdmitWithFaults(0, 1, Time::FromUnits(1),
+                                      {Time::FromDouble(0.25), kUnit});
+  EXPECT_TRUE(a.reordered);
+  EXPECT_EQ(a.arrival, Time::FromUnits(1) + Time::FromDouble(0.25));
+  EXPECT_EQ(links.LastArrival(0, 1), Time::FromUnits(5));
+}
+
+TEST(LinkTable, ZeroRatesAreBitIdenticalToBaseline) {
+  LinkTable plain(4), faulty(4);
+  faulty.EnableFaults({0.0, 0.0, 0.0}, /*seed=*/1);  // Any() == false
+  Rng delays(77);
+  for (int i = 0; i < 200; ++i) {
+    Time send = Time::FromTicks(i * 333);
+    Time transit = Time::FromTicks(
+        1 + static_cast<std::int64_t>(delays.NextBelow(Time::kTicksPerUnit)));
+    DelayDecision d{transit, Time::Zero()};
+    Admission a = faulty.AdmitWithFaults(0, 1, send, d);
+    EXPECT_EQ(a.arrival, plain.Admit(0, 1, send, d));
+    EXPECT_FALSE(a.lost);
+    EXPECT_FALSE(a.reordered);
+  }
+}
+
 TEST(DelayModel, UnitIsWorstCasePipe) {
   UnitDelayModel m;
   auto d = m.Decide({0, 1, Time::Zero(), 0, nullptr});
