@@ -1,0 +1,121 @@
+#include "celect/analysis/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace celect::analysis {
+
+namespace {
+// Readable-violation cap; tallies in Metrics keep counting past it.
+constexpr std::size_t kMaxRecorded = 64;
+}  // namespace
+
+void InvariantRegistry::Violate(const sim::RunInspect& in, const char* kind,
+                                std::string what) {
+  in.metrics->RecordInvariantViolation(kind);
+  if (violations_.size() < kMaxRecorded) {
+    violations_.push_back(std::string(kind) + ": " + std::move(what));
+  }
+}
+
+void InvariantRegistry::CheckLeader(const sim::RunInspect& in) {
+  const sim::Metrics& m = *in.metrics;
+  if (opt_.unique_leader && m.leader_declarations() > 1 &&
+      !multiple_reported_) {
+    multiple_reported_ = true;
+    std::ostringstream os;
+    os << m.leader_declarations() << " leader declarations (last leader id "
+       << *m.leader_id() << ")";
+    Violate(in, kInvMultipleLeaders, os.str());
+  }
+  if (opt_.leader_is_max_id && m.leader_declarations() > 0 &&
+      !max_id_reported_ && *m.leader_id() != expected_leader_) {
+    max_id_reported_ = true;
+    std::ostringstream os;
+    os << "leader id " << *m.leader_id() << ", expected max id "
+       << expected_leader_;
+    Violate(in, kInvLeaderNotMaxId, os.str());
+  }
+}
+
+void InvariantRegistry::CheckMonotone(sim::NodeId target,
+                                      const sim::RunInspect& in) {
+  if ((*in.failed)[target]) return;
+  for (const auto& [name, value] : in.process(target).Observe().monotone) {
+    auto [it, inserted] = last_.try_emplace({target, name}, value);
+    if (inserted) continue;
+    if (value < it->second) {
+      std::ostringstream os;
+      os << "node " << target << " gauge '" << name << "' fell from "
+         << it->second << " to " << value;
+      Violate(in, kInvMonotoneRegression, os.str());
+    }
+    it->second = std::max(it->second, value);
+  }
+}
+
+void InvariantRegistry::CheckConservation(const sim::RunInspect& in) {
+  const sim::Metrics& m = *in.metrics;
+  const std::uint64_t sent = m.messages_sent() + m.messages_duplicated();
+  const std::uint64_t accounted =
+      m.messages_delivered() + m.messages_dropped() + in.deliveries_inflight;
+  if (sent != accounted) {
+    std::ostringstream os;
+    os << "sent+duplicated=" << sent << " but delivered+dropped+inflight="
+       << accounted;
+    Violate(in, kInvConservation, os.str());
+  }
+}
+
+void InvariantRegistry::AfterEvent(sim::NodeId target,
+                                   const sim::RunInspect& in) {
+  if (!expected_leader_known_) {
+    // Snapshot before any mid-run crash can remove the max-id node; the
+    // max-id check is only meaningful for configs where it stays live.
+    expected_leader_known_ = true;
+    sim::Id best = (*in.ids)[0];
+    for (sim::NodeId i = 0; i < in.n; ++i) {
+      if (!(*in.failed)[i]) best = std::max(best, (*in.ids)[i]);
+    }
+    expected_leader_ = best;
+  }
+  CheckLeader(in);
+  if (opt_.monotone_observables) CheckMonotone(target, in);
+  if (opt_.message_conservation) CheckConservation(in);
+}
+
+void InvariantRegistry::AtQuiescence(const sim::RunInspect& in) {
+  if (opt_.message_conservation) {
+    CheckConservation(in);
+    if (in.deliveries_inflight != 0) {
+      std::ostringstream os;
+      os << in.deliveries_inflight << " deliveries in flight at quiescence";
+      Violate(in, kInvConservation, os.str());
+    }
+  }
+  if (!opt_.quiescence_termination) return;
+  if (in.metrics->leader_declarations() == 0) {
+    Violate(in, kInvNoTermination, "quiescent with no leader declared");
+  }
+  for (sim::NodeId i = 0; i < in.n; ++i) {
+    if ((*in.failed)[i]) continue;
+    const auto obs = in.process(i).Observe();
+    if (obs.terminated.has_value() && !*obs.terminated) {
+      std::ostringstream os;
+      os << "node " << i << " still mid-pursuit at quiescence ("
+         << in.process(i).DescribeState() << ")";
+      Violate(in, kInvNoTermination, os.str());
+    }
+  }
+}
+
+std::string InvariantRegistry::Summary() const {
+  std::string out;
+  for (const auto& v : violations_) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace celect::analysis

@@ -52,6 +52,12 @@ class ElectionAppProcess : public sim::Process {
 
   bool leader_here() const { return leader_here_; }
 
+  // The app layer adds no gauges of its own; invariant checking sees the
+  // wrapped election protocol's observables.
+  sim::ProtocolObservables Observe() const final { return inner_->Observe(); }
+
+  std::string DescribeState() const final { return inner_->DescribeState(); }
+
  protected:
   // Called exactly when the inner protocol declares this node leader;
   // the app starts its follow-up round here. The leader declaration is

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "celect/analysis/invariants.h"
 #include "celect/harness/registry.h"
 #include "celect/sim/network.h"
 #include "celect/sim/runtime.h"
@@ -74,7 +75,16 @@ ChaosCaseResult RunChaosCase(const sim::ProcessFactory& factory,
   ro.max_events = opt.max_events;
   ro.fault_plan = out.plan;
 
-  sim::Runtime runtime(BuildNetwork(ro), factory);
+  // Leader-count verdicts stay below (they carry the crash/loss context);
+  // the registry adds per-event monotonicity and conservation checks.
+  analysis::InvariantOptions io;
+  io.unique_leader = false;
+  analysis::InvariantRegistry registry(io);
+
+  sim::RuntimeOptions rt;
+  rt.max_events = opt.max_events;
+  if (opt.check_invariants) rt.observer = &registry;
+  sim::Runtime runtime(BuildNetwork(ro), factory, rt);
   out.result = runtime.Run();
   out.failed_after = runtime.failed();
 
@@ -89,6 +99,10 @@ ChaosCaseResult RunChaosCase(const sim::ProcessFactory& factory,
              out.failed_after[*r.leader_node]) {
     v << "LIVENESS: declared leader (node " << *r.leader_node
       << ") crashed";
+  }
+  if (!registry.ok()) {
+    if (v.tellp() > 0) v << "; ";
+    v << "INVARIANT: " << registry.Summary();
   }
   out.violation = v.str();
   return out;

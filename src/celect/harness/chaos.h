@@ -9,6 +9,10 @@
 //             quiescence (checked only when the plan stays within the
 //             protocol's fault tolerance).
 //
+// Each case additionally runs under an analysis::InvariantRegistry
+// (per-node monotone observables, message conservation) whose verdict is
+// folded into the same violation string and per-cause counters.
+//
 // Everything is derived from a single 64-bit seed: the fault plan, the
 // delay schedule, and the port permutations. The same seed and options
 // always reproduce the same RunResult bit-for-bit (FingerprintResult
@@ -43,6 +47,10 @@ struct ChaosOptions {
   // quiescence is then acceptable).
   bool require_leader = true;
   bool require_live_leader = true;
+  // Per-event invariant checking (analysis::InvariantRegistry) on every
+  // case: monotone observables + message conservation. Leader-count
+  // checks stay with the harness's own SAFETY/LIVENESS verdicts above.
+  bool check_invariants = true;
 };
 
 // Derives the run's fault plan from the seed: distinct crash victims with

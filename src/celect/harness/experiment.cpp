@@ -205,6 +205,9 @@ std::string Summarize(const sim::RunResult& r) {
        << " duped=" << r.messages_duplicated;
   }
   if (r.timers_fired) os << " timers=" << r.timers_fired;
+  if (r.invariant_violations) {
+    os << " invariant_violations=" << r.invariant_violations;
+  }
   return os.str();
 }
 

@@ -29,6 +29,13 @@ class ChordalNode : public ElectionProcess {
     return s;
   }
 
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    obs.monotone = {{"resolve_started", resolve_started_ ? 1 : 0},
+                    {"reported", reported_ ? 1 : 0}};
+    return obs;
+  }
+
  protected:
   void OnSpontaneousWakeup(Context& ctx) override {
     // Base node: wake the coordinator at position 0.

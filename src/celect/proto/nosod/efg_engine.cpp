@@ -202,6 +202,21 @@ class EfgNode : public ElectionProcess {
     return s;
   }
 
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    // level_ survives FT revival monotonically (a revived node re-enters
+    // the race from its current level); captured_ and the role do not
+    // (kDead/captured → kWalking), so those claims hold only at f = 0.
+    obs.monotone = {{"level", level_},
+                    {"maxid", maxid_},
+                    {"reached_second", reached_second_ ? 1 : 0}};
+    if (!Ft()) {
+      obs.monotone.emplace_back("captured", captured_ ? 1 : 0);
+      obs.terminated = role_ == Role::kLeader || !LiveCandidate();
+    }
+    return obs;
+  }
+
  private:
   enum class Role {
     kPassive,      // never woke spontaneously (or barred)

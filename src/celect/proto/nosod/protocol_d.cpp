@@ -31,11 +31,15 @@ class ProtocolDNode : public ElectionProcess {
         // Silence is the contest: only a base node with a larger
         // identity withholds its accept.
         if (!(is_base() && id_ > p.field(0))) {
+          if (is_base()) lost_ = true;  // a larger base is in the race
           ctx.Send(from_port, Packet{kDAccept, {}});
         }
         break;
       case kDAccept:
-        if (is_base() && ++accepts_ == n_ - 1) ctx.DeclareLeader();
+        if (is_base() && ++accepts_ == n_ - 1) {
+          declared_ = true;
+          ctx.DeclareLeader();
+        }
         break;
       default:
         CELECT_CHECK(false) << "protocol D: unknown message type "
@@ -43,10 +47,24 @@ class ProtocolDNode : public ElectionProcess {
     }
   }
 
+ public:
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    obs.monotone = {{"accepts", static_cast<std::int64_t>(accepts_)},
+                    {"lost", lost_ ? 1 : 0},
+                    {"declared", declared_ ? 1 : 0}};
+    // A losing base node learns it lost from the winner's own elect
+    // broadcast; passive nodes are never in the race.
+    obs.terminated = declared_ || lost_ || !is_base();
+    return obs;
+  }
+
  private:
   const Id id_;
   const std::uint32_t n_;
   std::uint32_t accepts_ = 0;
+  bool lost_ = false;
+  bool declared_ = false;
 };
 
 }  // namespace

@@ -92,6 +92,17 @@ class ProtocolANode : public ElectionProcess {
     }
   }
 
+ public:
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    obs.monotone = {{"level", level_},
+                    {"phase", static_cast<std::int64_t>(phase_)},
+                    {"captured", captured_ ? 1 : 0},
+                    {"dead", dead_ ? 1 : 0}};
+    obs.terminated = declared_ || !LiveCandidate();
+    return obs;
+  }
+
  private:
   enum class Phase { kIdle, kCapturing, kOwnerRound, kElectRound, kDone };
 

@@ -47,6 +47,16 @@ class ProtocolBNode : public ElectionProcess {
     }
   }
 
+ public:
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    obs.monotone = {{"step", step_},
+                    {"captured", captured_ ? 1 : 0},
+                    {"dead", dead_ ? 1 : 0}};
+    obs.terminated = declared_ || !Live();
+    return obs;
+  }
+
  private:
   Credential Cred() const { return Credential{step_, id_}; }
 
@@ -84,6 +94,7 @@ class ProtocolBNode : public ElectionProcess {
     if (!Live()) return;
     if (--pending_ > 0) return;
     if (static_cast<std::uint32_t>(step_) == rounds_) {
+      declared_ = true;
       ctx.DeclareLeader();
       return;
     }
@@ -98,6 +109,7 @@ class ProtocolBNode : public ElectionProcess {
   std::int64_t step_ = 0;  // 0 = not a candidate yet
   bool captured_ = false;
   bool dead_ = false;
+  bool declared_ = false;
   std::uint32_t pending_ = 0;
 };
 

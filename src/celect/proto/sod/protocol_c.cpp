@@ -76,6 +76,18 @@ class ProtocolCNode : public ElectionProcess {
     }
   }
 
+ public:
+  sim::ProtocolObservables Observe() const override {
+    sim::ProtocolObservables obs;
+    obs.monotone = {{"level", level_},
+                    {"step", step_},
+                    {"phase", static_cast<std::int64_t>(phase_)},
+                    {"captured", captured_ ? 1 : 0},
+                    {"dead", dead_ ? 1 : 0}};
+    obs.terminated = declared_ || !Live();
+    return obs;
+  }
+
  private:
   enum class Phase { kIdle, kClassWalk, kOwnerRound, kDoubling, kDone };
 

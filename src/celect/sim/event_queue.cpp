@@ -1,25 +1,56 @@
 #include "celect/sim/event_queue.h"
 
+#include <algorithm>
+
 #include "celect/util/check.h"
 
 namespace celect::sim {
 
+// GCC 12's -Wmaybe-uninitialized misfires on std::push_heap/pop_heap/
+// make_heap here: the algorithms hold a moved-to `__value` temporary, and
+// the optimizer cannot prove the vector members inside Event's variant
+// alternative were initialized before the move-assign writes them back
+// (GCC PR 105562 family). Every element the algorithms touch is a fully
+// constructed Event, so the warning is spurious.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 std::uint64_t EventQueue::Push(Time at, EventBody body) {
   std::uint64_t seq = next_seq_++;
-  heap_.push(Event{at, seq, std::move(body)});
+  heap_.push_back(Event{at, seq, std::move(body)});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   return seq;
 }
 
 std::optional<Event> EventQueue::Pop() {
   if (heap_.empty()) return std::nullopt;
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
   return e;
 }
 
 Time EventQueue::PeekTime() const {
   CELECT_CHECK(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
+
+Event EventQueue::Take(std::uint64_t seq) {
+  auto it = std::find_if(heap_.begin(), heap_.end(),
+                         [seq](const Event& e) { return e.seq == seq; });
+  CELECT_CHECK(it != heap_.end()) << "Take: no pending event with seq "
+                                  << seq;
+  Event e = std::move(*it);
+  *it = std::move(heap_.back());
+  heap_.pop_back();
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+  return e;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace celect::sim

@@ -1,12 +1,19 @@
 // Deterministic priority event queue.
 //
-// A thin wrapper over a binary heap that stamps every pushed event with a
+// A binary heap over a flat vector that stamps every pushed event with a
 // monotone sequence number, guaranteeing a total, reproducible order even
 // among events scheduled for the same instant.
+//
+// Controlled scheduling (the analysis explorer) needs to dispatch pending
+// events in an order of its own choosing rather than time order, so the
+// queue also exposes its raw storage (`events()`, heap order — callers
+// must not assume anything beyond "these are the pending events") and
+// removal of an arbitrary element (`Take`). Taking from the middle
+// re-heapifies in O(n); exploration runs are tiny, the simulator's hot
+// path never calls it.
 #pragma once
 
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "celect/sim/event.h"
@@ -29,8 +36,16 @@ class EventQueue {
   // Earliest scheduled time (queue must be non-empty).
   Time PeekTime() const;
 
+  // Pending events in unspecified (heap) order. Valid until the next
+  // mutation.
+  const std::vector<Event>& events() const { return heap_; }
+
+  // Removes and returns the pending event with sequence number `seq`
+  // (CHECK-fails if absent). O(n) — controlled scheduling only.
+  Event Take(std::uint64_t seq);
+
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -44,6 +44,11 @@ void Metrics::RecordLeader(NodeId node, Id id, Time at) {
   ++leader_declarations_;
 }
 
+void Metrics::RecordInvariantViolation(const std::string& kind) {
+  ++invariant_violations_total_;
+  ++invariant_violations_by_kind_[kind];
+}
+
 void Metrics::AddCounter(const std::string& name, std::int64_t delta) {
   counters_[name] += delta;
 }

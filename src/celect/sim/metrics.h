@@ -32,6 +32,10 @@ class Metrics {
   void RecordTimerFired();
   void RecordTimerCancelled();
   void RecordLeader(NodeId node, Id id, Time at);
+  // Per-cause invariant-violation tally (analysis/invariants.h kinds,
+  // e.g. "multiple_leaders"). Mirrors the per-cause drop counters: zero
+  // entries on clean runs, surfaced in RunResult::counters otherwise.
+  void RecordInvariantViolation(const std::string& kind);
   void AddCounter(const std::string& name, std::int64_t delta);
   void MaxCounter(const std::string& name, std::int64_t value);
 
@@ -56,6 +60,13 @@ class Metrics {
   const std::map<std::string, std::int64_t>& counters() const {
     return counters_;
   }
+  std::uint64_t invariant_violations() const {
+    return invariant_violations_total_;
+  }
+  const std::map<std::string, std::uint64_t>& invariant_violations_by_kind()
+      const {
+    return invariant_violations_by_kind_;
+  }
 
   std::uint32_t leader_declarations() const { return leader_declarations_; }
   std::optional<NodeId> leader_node() const { return leader_node_; }
@@ -76,6 +87,8 @@ class Metrics {
   std::uint64_t bytes_sent_ = 0;
   std::map<std::uint16_t, std::uint64_t> by_type_;
   std::map<std::string, std::int64_t> counters_;
+  std::uint64_t invariant_violations_total_ = 0;
+  std::map<std::string, std::uint64_t> invariant_violations_by_kind_;
   std::uint32_t leader_declarations_ = 0;
   std::optional<NodeId> leader_node_;
   std::optional<Id> leader_id_;

@@ -21,6 +21,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "celect/sim/time.h"
 #include "celect/sim/types.h"
@@ -75,6 +77,20 @@ class Context {
   std::uint32_t port_count() const { return n() - 1; }
 };
 
+// What a protocol instance exposes to the invariant checker
+// (analysis/invariants.h). Cheap to build — it is queried after every
+// event dispatched to the node.
+struct ProtocolObservables {
+  // Named per-node gauges that must never decrease over a run: capture
+  // levels, phase indices, accept counts. Names must be stable for the
+  // lifetime of the node.
+  std::vector<std::pair<const char*, std::int64_t>> monotone;
+  // Whether this node has reached a terminal state (leader, killed,
+  // captured, passive bystander). nullopt: the protocol makes no claim,
+  // and quiescence checks skip the node.
+  std::optional<bool> terminated;
+};
+
 class Process {
  public:
   virtual ~Process() = default;
@@ -96,6 +112,11 @@ class Process {
   // Human-readable snapshot of protocol state, for post-mortems and
   // debugging tools. Optional.
   virtual std::string DescribeState() const { return ""; }
+
+  // Machine-checkable snapshot for the invariant registry. Optional —
+  // the default exposes nothing and every invariant that needs it is
+  // skipped for this node.
+  virtual ProtocolObservables Observe() const { return {}; }
 };
 
 // Builds the process for the node with the given address/identity.

@@ -1,11 +1,26 @@
 #include "celect/sim/runtime.h"
 
+#include <algorithm>
 #include <string>
+#include <unordered_map>
 
 #include "celect/util/check.h"
 #include "celect/wire/packet_codec.h"
 
 namespace celect::sim {
+
+NodeId EventTarget(const EventBody& body) {
+  return std::visit(
+      [](const auto& b) -> NodeId {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, DeliveryEvent>) {
+          return b.to;
+        } else {
+          return b.node;
+        }
+      },
+      body);
+}
 
 // Context handed to a process for the duration of one event dispatch.
 class Runtime::ContextImpl : public Context {
@@ -181,9 +196,11 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
                        kInvalidPort, packet.type, 0});
         queue_.Push(*adm.duplicate_arrival,
                     DeliveryEvent{from, to, arrival_port, packet});
+        ++deliveries_inflight_;
       }
       queue_.Push(adm.arrival, DeliveryEvent{from, to, arrival_port,
                                              std::move(packet)});
+      ++deliveries_inflight_;
     }
   }
   if (crash_sender) MarkCrashed(from);
@@ -196,7 +213,7 @@ void Runtime::Dispatch(const Event& e) {
   if (const auto* t = std::get_if<TimerEvent>(&e.body)) {
     if (active_timers_.erase(t->timer) == 0) return;  // cancelled
     if (failed_[t->node]) return;  // timers die with their node
-    now_ = e.at;
+    now_ = std::max(now_, e.at);
     metrics_.RecordTimerFired();
     trace_.Record({TraceRecord::Kind::kTimerFire, now_, t->node, t->node,
                    kInvalidPort, 0, t->timer});
@@ -204,7 +221,10 @@ void Runtime::Dispatch(const Event& e) {
     processes_[t->node]->OnTimer(ctx, t->timer);
     return;
   }
-  now_ = e.at;
+  // Monotone clock: under controlled scheduling events dispatch out of
+  // time order, so the clock ratchets. In time-ordered runs e.at is
+  // never in the past and this is the plain assignment it always was.
+  now_ = std::max(now_, e.at);
   if (const auto* w = std::get_if<WakeupEvent>(&e.body)) {
     if (failed_[w->node]) return;  // crashed before its wakeup fired
     trace_.Record({TraceRecord::Kind::kWakeup, now_, w->node, w->node,
@@ -214,6 +234,8 @@ void Runtime::Dispatch(const Event& e) {
   } else if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
     // The link hands the message over either way — in-flight accounting
     // must stay exact even when the destination is gone.
+    CELECT_DCHECK(deliveries_inflight_ > 0);
+    --deliveries_inflight_;
     links_.NotifyDelivered(d->from, d->to);
     if (failed_[d->to]) {
       metrics_.RecordDrop(DropCause::kCrashedDestination);
@@ -245,18 +267,115 @@ void Runtime::Dispatch(const Event& e) {
   }
 }
 
+RunInspect Runtime::MakeInspect() {
+  RunInspect in;
+  in.n = config_.n;
+  in.ids = &ids_;
+  in.failed = &failed_;
+  in.processes = processes_.data();
+  in.metrics = &metrics_;
+  in.now = now_;
+  in.deliveries_inflight = deliveries_inflight_;
+  return in;
+}
+
+void Runtime::NotifyObserver(const Event& e) {
+  if (!options_.observer) return;
+  RunInspect in = MakeInspect();
+  options_.observer->AfterEvent(EventTarget(e.body), in);
+}
+
+bool Runtime::EventIsInert(const Event& e) const {
+  if (const auto* t = std::get_if<TimerEvent>(&e.body)) {
+    return active_timers_.count(t->timer) == 0 || failed_[t->node];
+  }
+  return failed_[EventTarget(e.body)];
+}
+
+void Runtime::DrainInert(std::uint64_t& events) {
+  // Inert events are deterministic no-ops for protocol state (drop
+  // accounting only), so they commute with everything and are dispatched
+  // eagerly, lowest seq first, rather than offered as schedule choices.
+  for (;;) {
+    std::optional<std::uint64_t> seq;
+    for (const Event& e : queue_.events()) {
+      if (EventIsInert(e) && (!seq || e.seq < *seq)) seq = e.seq;
+    }
+    if (!seq) return;
+    Event e = queue_.Take(*seq);
+    CELECT_CHECK(++events <= options_.max_events)
+        << "event budget exceeded in controlled run";
+    Dispatch(e);
+    NotifyObserver(e);
+  }
+}
+
+void Runtime::RunControlled(std::uint64_t& events) {
+  std::vector<const Event*> enabled;
+  // Lowest pending seq per directed link — the per-link FIFO gate. Push
+  // order equals send order on a link, so the lowest-seq pending
+  // delivery is the FIFO head.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_head;
+  const auto link_key = [this](const DeliveryEvent& d) {
+    return static_cast<std::uint64_t>(d.from) * config_.n + d.to;
+  };
+  while (!stop_requested_) {
+    DrainInert(events);
+    const std::vector<Event>& pending = queue_.events();
+    if (pending.empty()) return;
+    link_head.clear();
+    for (const Event& e : pending) {
+      if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
+        auto [it, inserted] = link_head.try_emplace(link_key(*d), e.seq);
+        if (!inserted && e.seq < it->second) it->second = e.seq;
+      }
+    }
+    enabled.clear();
+    for (const Event& e : pending) {
+      if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
+        if (link_head[link_key(*d)] != e.seq) continue;  // FIFO-blocked
+      }
+      enabled.push_back(&e);
+    }
+    CELECT_CHECK(!enabled.empty());
+    std::sort(enabled.begin(), enabled.end(),
+              [](const Event* a, const Event* b) { return a->seq < b->seq; });
+    std::optional<std::size_t> pick =
+        options_.controller->ChooseNext(enabled);
+    if (!pick) {
+      aborted_by_controller_ = true;
+      return;
+    }
+    CELECT_CHECK(*pick < enabled.size());
+    Event e = queue_.Take(enabled[*pick]->seq);
+    CELECT_CHECK(++events <= options_.max_events)
+        << "event budget exceeded in controlled run";
+    Dispatch(e);
+    NotifyObserver(e);
+  }
+}
+
 RunResult Runtime::Run() {
   CELECT_CHECK(!ran_) << "Runtime::Run may be called only once";
   ran_ = true;
 
   std::uint64_t events = 0;
-  while (!stop_requested_) {
-    auto e = queue_.Pop();
-    if (!e) break;
-    CELECT_CHECK(++events <= options_.max_events)
-        << "event budget exceeded — protocol is not quiescing "
-        << "(messages so far: " << metrics_.messages_sent() << ")";
-    Dispatch(*e);
+  if (options_.controller) {
+    RunControlled(events);
+  } else {
+    while (!stop_requested_) {
+      auto e = queue_.Pop();
+      if (!e) break;
+      CELECT_CHECK(++events <= options_.max_events)
+          << "event budget exceeded — protocol is not quiescing "
+          << "(messages so far: " << metrics_.messages_sent() << ")";
+      Dispatch(*e);
+      NotifyObserver(*e);
+    }
+  }
+  if (options_.observer && queue_.Empty()) {
+    RunInspect in = MakeInspect();
+    options_.observer->AtQuiescence(in);
   }
 
   RunResult r;
@@ -276,6 +395,8 @@ RunResult Runtime::Run() {
   r.messages_reordered = metrics_.messages_reordered();
   r.timers_set = metrics_.timers_set();
   r.timers_fired = metrics_.timers_fired();
+  r.invariant_violations = metrics_.invariant_violations();
+  r.aborted_by_controller = aborted_by_controller_;
   r.messages_by_type = metrics_.by_type();
   r.counters = metrics_.counters();
   // Per-cause drop counters ride in the generic counter map so harness
@@ -287,6 +408,11 @@ RunResult Runtime::Run() {
   if (metrics_.dropped_to_loss() > 0) {
     r.counters["sim.dropped_to_loss"] =
         static_cast<std::int64_t>(metrics_.dropped_to_loss());
+  }
+  // Per-cause invariant violations ride the counter map too, so harness
+  // tables and fingerprints surface them without schema changes.
+  for (const auto& [kind, count] : metrics_.invariant_violations_by_kind()) {
+    r.counters["invariant." + kind] = static_cast<std::int64_t>(count);
   }
   return r;
 }

@@ -20,6 +20,7 @@
 
 #include "celect/sim/event_queue.h"
 #include "celect/sim/fault.h"
+#include "celect/sim/hooks.h"
 #include "celect/sim/link.h"
 #include "celect/sim/metrics.h"
 #include "celect/sim/network.h"
@@ -39,6 +40,14 @@ struct RuntimeOptions {
   // Stop as soon as a leader declares (termination time is then the
   // declaration time; message totals exclude in-flight cleanup).
   bool stop_on_leader = false;
+  // Invariant observer, called after every dispatched event and at
+  // quiescence. Not owned; may be null.
+  RunObserver* observer = nullptr;
+  // Controlled scheduling: when set, the runtime ignores time order and
+  // dispatches whichever enabled event the controller picks (per-link
+  // FIFO still holds; inert events — stale timers, traffic to dead
+  // nodes — are drained eagerly and are not choice points). Not owned.
+  ScheduleController* controller = nullptr;
 };
 
 struct RunResult {
@@ -59,6 +68,11 @@ struct RunResult {
   std::uint64_t messages_reordered = 0;   // FIFO-overtaking deliveries
   std::uint64_t timers_set = 0;
   std::uint64_t timers_fired = 0;
+  // Invariant-registry tally (zero unless an observer recorded any).
+  std::uint64_t invariant_violations = 0;
+  // True when a ScheduleController cut the run short (the queue did not
+  // drain; quiescence checks were skipped).
+  bool aborted_by_controller = false;
   std::map<std::uint16_t, std::uint64_t> messages_by_type;
   std::map<std::string, std::int64_t> counters;
 };
@@ -91,6 +105,15 @@ class Runtime {
   friend class ContextImpl;
 
   void Dispatch(const Event& e);
+  // The controlled-scheduling loop (options_.controller set).
+  void RunControlled(std::uint64_t& events);
+  // Enabled = pending, minus inert events, minus FIFO-blocked deliveries.
+  // Inert events (stale timers, events targeting dead nodes) are
+  // dispatched eagerly by DrainInert so they never become choice points.
+  bool EventIsInert(const Event& e) const;
+  void DrainInert(std::uint64_t& events);
+  RunInspect MakeInspect();
+  void NotifyObserver(const Event& e);
   void SendFrom(NodeId from, Port port, wire::Packet packet);
   TimerId ScheduleTimer(NodeId node, Time delay);
   void CancelTimer(TimerId timer);
@@ -107,6 +130,11 @@ class Runtime {
   Time now_ = Time::Zero();
   bool ran_ = false;
   bool stop_requested_ = false;
+  bool aborted_by_controller_ = false;
+  // DeliveryEvents currently in the queue — the in-flight leg of the
+  // message-conservation ledger (sent + duplicated = delivered + dropped
+  // + in flight).
+  std::uint64_t deliveries_inflight_ = 0;
 
   // Failure state: seeded from config_.failed, extended by mid-run
   // crashes. Never shrinks.

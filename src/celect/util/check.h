@@ -51,9 +51,12 @@ class CheckMessageBuilder {
     ::celect::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 
 #ifdef NDEBUG
-#define CELECT_DCHECK(cond) \
-  if (true) {               \
-  } else                    \
+// The condition is typechecked but never evaluated (sizeof on an
+// unevaluated operand), so variables referenced only in DCHECKs still
+// count as used and release builds stay -Wunused-clean.
+#define CELECT_DCHECK(cond)                                  \
+  if (sizeof(decltype(static_cast<bool>(cond))) != 0) {      \
+  } else                                                     \
     ::celect::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 #else
 #define CELECT_DCHECK(cond) CELECT_CHECK(cond)

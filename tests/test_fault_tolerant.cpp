@@ -141,9 +141,15 @@ INSTANTIATE_TEST_SUITE_P(
                       UnderBudgetCase{64, 2, 0}, UnderBudgetCase{64, 2, 1},
                       UnderBudgetCase{64, 7, 6}),
     [](const ::testing::TestParamInfo<UnderBudgetCase>& info) {
-      return "N" + std::to_string(info.param.n) + "_budget" +
-             std::to_string(info.param.budget) + "_actual" +
-             std::to_string(info.param.actual);
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // misfires on `"lit" + std::string&&` at -O3 (GCC PR 105329).
+      std::string name = "N";
+      name += std::to_string(info.param.n);
+      name += "_budget";
+      name += std::to_string(info.param.budget);
+      name += "_actual";
+      name += std::to_string(info.param.actual);
+      return name;
     });
 
 // --- mid-run crashes (chaos harness) ---------------------------------
