@@ -2,40 +2,61 @@
 // spanning tree and global-function computation cost only O(N) extra
 // messages and O(1) extra time over the underlying election (C with
 // sense of direction, G without).
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E14.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <iostream>
 
 #include "celect/apps/global_function.h"
 #include "celect/apps/spanning_tree.h"
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/protocol_g.h"
 #include "celect/proto/sod/protocol_c.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E14");
 
   harness::PrintBanner(
       std::cout, "E14a (spanning tree over protocol C, SoD)",
       "extra = app run − plain election; paper: Θ(N) messages, O(1) "
       "time.");
   {
-    Table t({"N", "election msgs", "tree msgs", "extra msgs", "extra/N",
-             "extra time"});
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
       o.mapper = harness::MapperKind::kSenseOfDirection;
-      auto plain = harness::RunElection(proto::sod::MakeProtocolC(), o);
-      auto app = harness::RunElection(
-          apps::MakeSpanningTree(proto::sod::MakeProtocolC()), o);
+      grid.push_back({"C", proto::sod::MakeProtocolC(), o});
+      grid.push_back({"C+tree",
+                      apps::MakeSpanningTree(proto::sod::MakeProtocolC()),
+                      o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "election msgs", "tree msgs", "extra msgs", "extra/N",
+             "extra time"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& plain = results[2 * i];
+      const auto& app = results[2 * i + 1];
       std::uint64_t extra = app.total_messages - plain.total_messages;
-      t.AddRow({Table::Int(n), Table::Int(plain.total_messages),
+      t.AddRow({Table::Int(sizes[i]), Table::Int(plain.total_messages),
                 Table::Int(app.total_messages), Table::Int(extra),
-                Table::Num(double(extra) / n),
+                Table::Num(double(extra) / sizes[i]),
                 Table::Num(app.quiesce_time.ToDouble() -
                            plain.quiesce_time.ToDouble())});
+      env.reporter().Add(harness::MakeBenchRow("C", sizes[i], {plain}));
+      env.reporter().Add(harness::MakeBenchRow("C+tree", sizes[i], {app}));
     }
     t.Print(std::cout);
   }
@@ -44,29 +65,41 @@ int main() {
       std::cout, "E14b (global max over protocol G, no SoD)",
       "query + report + result rounds on top of G at k = log N.");
   {
-    Table t({"N", "election msgs", "fn msgs", "extra msgs", "extra/N",
-             "extra time"});
-    for (std::uint32_t n = 64; n <= 512; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 512;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    auto input_of = [](sim::NodeId addr) {
+      return static_cast<std::int64_t>(addr * 31 % 997);
+    };
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
-      auto election = proto::nosod::MakeProtocolG(
-          proto::nosod::MessageOptimalK(n));
-      auto plain = harness::RunElection(election, o);
-      auto input_of = [](sim::NodeId addr) {
-        return static_cast<std::int64_t>(addr * 31 % 997);
-      };
-      auto app = harness::RunElection(
-          apps::MakeGlobalFunction(election, input_of,
-                                   apps::MaxReducer()),
-          o);
+      auto election =
+          proto::nosod::MakeProtocolG(proto::nosod::MessageOptimalK(n));
+      grid.push_back({"G", election, o});
+      grid.push_back(
+          {"G+maxfn",
+           apps::MakeGlobalFunction(election, input_of, apps::MaxReducer()),
+           o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "election msgs", "fn msgs", "extra msgs", "extra/N",
+             "extra time"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& plain = results[2 * i];
+      const auto& app = results[2 * i + 1];
       std::uint64_t extra = app.total_messages - plain.total_messages;
-      t.AddRow({Table::Int(n), Table::Int(plain.total_messages),
+      t.AddRow({Table::Int(sizes[i]), Table::Int(plain.total_messages),
                 Table::Int(app.total_messages), Table::Int(extra),
-                Table::Num(double(extra) / n),
+                Table::Num(double(extra) / sizes[i]),
                 Table::Num(app.quiesce_time.ToDouble() -
                            plain.quiesce_time.ToDouble())});
+      env.reporter().Add(harness::MakeBenchRow("G", sizes[i], {plain}));
+      env.reporter().Add(
+          harness::MakeBenchRow("G+maxfn", sizes[i], {app}));
     }
     t.Print(std::cout);
   }
-  return 0;
+  return env.Finish();
 }

@@ -3,77 +3,112 @@
 // O(N)-message election; a binomial-tree coordinator sweep makes it
 // O(log N) time. Compares against protocol C on the full complete
 // network: same asymptotics with exponentially fewer usable edges.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E16.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/chordal/coordinator.h"
 #include "celect/proto/sod/protocol_c.h"
 #include "celect/topo/chordal_ring.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E16");
 
   harness::PrintBanner(
       std::cout, "E16 (extension: chordal-ring election, [ALSZ89])",
       "Coordinator sweep on the power-of-two chordal ring vs protocol C "
       "on the complete network. Single base node: the chordal run is "
       "tightly 2N + O(log N) messages.");
-
-  Table t({"N", "chords/node", "edges used", "complete edges",
-           "chordal msgs", "chordal time", "C msgs", "C time"});
-  std::vector<double> ns, msgs, times;
-  for (std::uint32_t n = 32; n <= 2048; n *= 2) {
-    topo::ChordalRing ring(n);
-    RunOptions o;
-    o.n = n;
-    o.mapper = harness::MapperKind::kSenseOfDirection;
-    o.wakeup = harness::WakeupKind::kSingle;
-    auto rc = harness::RunElection(
-        proto::chordal::MakeChordalCoordinator(), o);
-    auto c = harness::RunElection(proto::sod::MakeProtocolC(), o);
-    ns.push_back(n);
-    msgs.push_back(static_cast<double>(rc.total_messages));
-    times.push_back(rc.leader_time.ToDouble());
-    t.AddRow({Table::Int(n), Table::Int(ring.chords_per_node()),
-              Table::Int(static_cast<std::uint64_t>(n) *
-                         ring.chords_per_node()),
-              Table::Int(static_cast<std::uint64_t>(n) * (n - 1) / 2),
-              Table::Int(rc.total_messages),
-              Table::Num(rc.leader_time.ToDouble()),
-              Table::Int(c.total_messages),
-              Table::Num(c.leader_time.ToDouble())});
+  {
+    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 32; n <= n_max; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      o.wakeup = harness::WakeupKind::kSingle;
+      grid.push_back(
+          {"chordal", proto::chordal::MakeChordalCoordinator(), o});
+      grid.push_back({"C", proto::sod::MakeProtocolC(), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "chords/node", "edges used", "complete edges",
+             "chordal msgs", "chordal time", "C msgs", "C time"});
+    std::vector<double> ns, msgs, times;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::uint32_t n = sizes[i];
+      topo::ChordalRing ring(n);
+      const auto& rc = results[2 * i];
+      const auto& c = results[2 * i + 1];
+      ns.push_back(n);
+      msgs.push_back(static_cast<double>(rc.total_messages));
+      times.push_back(rc.leader_time.ToDouble());
+      t.AddRow({Table::Int(n), Table::Int(ring.chords_per_node()),
+                Table::Int(static_cast<std::uint64_t>(n) *
+                           ring.chords_per_node()),
+                Table::Int(static_cast<std::uint64_t>(n) * (n - 1) / 2),
+                Table::Int(rc.total_messages),
+                Table::Num(rc.leader_time.ToDouble()),
+                Table::Int(c.total_messages),
+                Table::Num(c.leader_time.ToDouble())});
+      env.reporter().Add(harness::MakeBenchRow("chordal/single", n, {rc}));
+      env.reporter().Add(harness::MakeBenchRow("C/single", n, {c}));
+    }
+    t.Print(std::cout);
+    auto fit = FitPowerLaw(ns, msgs);
+    std::cout << "\nchordal message growth: N^"
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
+              << " (linear); time per doubling: "
+              << Table::Num(FitLogSlope(ns, times))
+              << " units (bounded = logarithmic)\n";
   }
-  t.Print(std::cout);
-  std::cout << "\nchordal message growth: N^"
-            << Table::Num(FitPowerLaw(ns, msgs).alpha)
-            << " (linear); time per doubling: "
-            << Table::Num(FitLogSlope(ns, times))
-            << " units (bounded = logarithmic)\n";
 
   harness::PrintBanner(
       std::cout, "E16b (all nodes base: start-routing overhead)",
       "With r base nodes the sweep costs N-ish plus r·log N routing "
       "hops.");
-  Table t2({"N", "messages", "msgs/N", "routing hops", "time"});
-  for (std::uint32_t n = 64; n <= 1024; n *= 2) {
-    RunOptions o;
-    o.n = n;
-    o.mapper = harness::MapperKind::kSenseOfDirection;
-    auto r = harness::RunElection(
-        proto::chordal::MakeChordalCoordinator(), o);
-    auto hops = r.counters.count(proto::chordal::kCounterRoutingHops)
-                    ? r.counters.at(proto::chordal::kCounterRoutingHops)
-                    : 0;
-    t2.AddRow({Table::Int(n), Table::Int(r.total_messages),
-               Table::Num(r.total_messages / double(n)),
-               Table::Int(static_cast<std::uint64_t>(hops)),
-               Table::Num(r.leader_time.ToDouble())});
+  {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.mapper = harness::MapperKind::kSenseOfDirection;
+      grid.push_back(
+          {"chordal", proto::chordal::MakeChordalCoordinator(), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t2({"N", "messages", "msgs/N", "routing hops", "time"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      auto hops = r.counters.count(proto::chordal::kCounterRoutingHops)
+                      ? r.counters.at(proto::chordal::kCounterRoutingHops)
+                      : 0;
+      t2.AddRow({Table::Int(sizes[i]), Table::Int(r.total_messages),
+                 Table::Num(r.total_messages / double(sizes[i])),
+                 Table::Int(static_cast<std::uint64_t>(hops)),
+                 Table::Num(r.leader_time.ToDouble())});
+      env.reporter().Add(
+          harness::MakeBenchRow("chordal/all-base", sizes[i], {r}));
+    }
+    t2.Print(std::cout);
   }
-  t2.Print(std::cout);
-  return 0;
+  return env.Finish();
 }

@@ -2,35 +2,52 @@
 // O(Nf + N log N) messages, O(N/log N) time, f < N/2 (paper §4 +
 // BKWZ87). Sweeps f at fixed N and N at fixed f, then replaces the
 // initial failures with mid-run crashes from seeded chaos plans.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E11.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/chaos.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/fault_tolerant.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E11");
 
   harness::PrintBanner(
       std::cout, "E11a (failure sweep at N = 256)",
       "Messages grow ~linearly in f (the N·f redundancy term); the run "
       "still elects exactly one live leader.");
   {
-    const std::uint32_t n = 256;
-    Table t({"f", "messages", "msgs/(N*(f+logN))", "time", "elected"});
-    std::vector<double> fs, msgs;
-    for (std::uint32_t f : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const std::uint32_t n = env.quick() ? 64 : 256;
+    std::vector<std::uint32_t> fs_all = {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u};
+    if (env.quick()) fs_all = {0u, 2u, 8u};
+    std::vector<SweepPoint> grid;
+    for (std::uint32_t f : fs_all) {
       RunOptions o;
       o.n = n;
       o.failures = f;
       o.seed = 7 + f;
-      auto r =
-          harness::RunElection(proto::nosod::MakeFaultTolerant(f), o);
+      grid.push_back({"FT(f=" + std::to_string(f) + ")",
+                      proto::nosod::MakeFaultTolerant(f), o});
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"f", "messages", "msgs/(N*(f+logN))", "time", "elected"});
+    std::vector<double> fs, msgs;
+    for (std::size_t i = 0; i < fs_all.size(); ++i) {
+      std::uint32_t f = fs_all[i];
+      const auto& r = results[i];
       double denom = n * (f + std::log2(static_cast<double>(n)));
       if (f > 0) {
         fs.push_back(f);
@@ -40,10 +57,12 @@ int main() {
                 Table::Num(r.total_messages / denom, 3),
                 Table::Num(r.leader_time.ToDouble()),
                 r.leader_declarations == 1 ? "yes" : "NO"});
+      env.reporter().Add(harness::MakeBenchRow(grid[i].protocol, n, {r}));
     }
     t.Print(std::cout);
+    auto fit = FitPowerLaw(fs, msgs);
     std::cout << "\nmessage growth in f: f^"
-              << Table::Num(FitPowerLaw(fs, msgs).alpha)
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
               << " (paper: ~1 once the N·f term dominates)\n";
   }
 
@@ -51,19 +70,28 @@ int main() {
       std::cout, "E11b (N sweep at f = 8)",
       "Time stays O(N/log N) despite the failures.");
   {
-    Table t({"N", "messages", "time", "time/(N/logN)", "elected"});
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
       o.failures = 8;
       o.seed = n;
-      auto r =
-          harness::RunElection(proto::nosod::MakeFaultTolerant(8), o);
-      double log_n = std::log2(static_cast<double>(n));
-      t.AddRow({Table::Int(n), Table::Int(r.total_messages),
+      grid.push_back({"FT(f=8)", proto::nosod::MakeFaultTolerant(8), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "messages", "time", "time/(N/logN)", "elected"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      double log_n = std::log2(static_cast<double>(sizes[i]));
+      t.AddRow({Table::Int(sizes[i]), Table::Int(r.total_messages),
                 Table::Num(r.leader_time.ToDouble()),
-                Table::Num(r.leader_time.ToDouble() / (n / log_n), 3),
+                Table::Num(r.leader_time.ToDouble() / (sizes[i] / log_n),
+                           3),
                 r.leader_declarations == 1 ? "yes" : "NO"});
+      env.reporter().Add(harness::MakeBenchRow("FT(f=8)", sizes[i], {r}));
     }
     t.Print(std::cout);
   }
@@ -73,20 +101,26 @@ int main() {
       "100 randomised runs at N = 64, f = 16 — count of runs electing "
       "exactly one live leader.");
   {
-    int ok = 0;
-    const int kTrials = 100;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint32_t kTrials = env.quick() ? 20 : 100;
+    std::vector<SweepPoint> grid;
+    for (std::uint32_t trial = 0; trial < kTrials; ++trial) {
       RunOptions o;
       o.n = 64;
       o.failures = 16;
       o.seed = 1000 + trial;
       o.delay = trial % 2 ? harness::DelayKind::kRandom
                           : harness::DelayKind::kUnit;
-      auto r =
-          harness::RunElection(proto::nosod::MakeFaultTolerant(16), o);
+      grid.push_back({"FT/stress", proto::nosod::MakeFaultTolerant(16), o});
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    std::uint32_t ok = 0;
+    for (const auto& r : results) {
       if (r.leader_declarations == 1) ++ok;
     }
     std::cout << ok << "/" << kTrials << " runs elected a unique leader\n";
+    auto row = harness::MakeBenchRow("FT/stress", 64, results);
+    row.extra.emplace_back("unique_leader", static_cast<double>(ok));
+    env.reporter().Add(std::move(row));
   }
 
   harness::PrintBanner(
@@ -95,6 +129,7 @@ int main() {
       "moments, with 2% injected link loss on top. Cost of the recovery "
       "machinery: messages and timers per fault budget.");
   {
+    const std::uint32_t kCases = env.quick() ? 10 : 25;
     Table t({"f", "cases", "crashes", "lost", "timers", "avg msgs",
              "violations"});
     for (std::uint32_t f : {1u, 2u, 4u, 8u}) {
@@ -102,23 +137,37 @@ int main() {
       opt.n = 64;
       opt.max_crashes = f;
       opt.loss = 0.02;
-      const std::uint32_t kCases = 25;
-      std::uint64_t msgs = 0, crashes = 0, lost = 0, timers = 0,
-                    violations = 0;
-      for (std::uint32_t i = 0; i < kCases; ++i) {
-        auto c = harness::RunChaosCase(proto::nosod::MakeFaultTolerant(f),
-                                       4200 + f + i, opt);
-        msgs += c.result.total_messages;
-        crashes += c.result.faults_injected;
-        lost += c.result.messages_lost;
-        timers += c.result.timers_fired;
-        if (!c.violation.empty()) ++violations;
-      }
-      t.AddRow({Table::Int(f), Table::Int(kCases), Table::Int(crashes),
-                Table::Int(lost), Table::Int(timers),
-                Table::Int(msgs / kCases), Table::Int(violations)});
+      opt.threads = env.threads();
+      auto sweep = harness::SweepChaos(proto::nosod::MakeFaultTolerant(f),
+                                       4200 + f, kCases, opt);
+      t.AddRow({Table::Int(f), Table::Int(sweep.cases),
+                Table::Int(sweep.crashes_injected),
+                Table::Int(sweep.messages_lost),
+                Table::Int(sweep.timers_fired),
+                Table::Int(static_cast<std::uint64_t>(
+                    sweep.messages.mean())),
+                Table::Int(sweep.violations.size())});
+      harness::BenchRow row;
+      row.protocol = "FT/chaos(f=" + std::to_string(f) + ")";
+      row.n = 64;
+      row.seed_count = sweep.cases;
+      row.messages = sweep.messages;
+      row.time = sweep.time;
+      row.wall_ns = sweep.wall_ns;
+      row.events_per_sec =
+          sweep.wall_ns > 0
+              ? static_cast<double>(sweep.events_processed) * 1e9 /
+                    static_cast<double>(sweep.wall_ns)
+              : 0.0;
+      row.extra.emplace_back("crashes",
+                             static_cast<double>(sweep.crashes_injected));
+      row.extra.emplace_back("lost",
+                             static_cast<double>(sweep.messages_lost));
+      row.extra.emplace_back("violations",
+                             static_cast<double>(sweep.violations.size()));
+      env.reporter().Add(std::move(row));
     }
     t.Print(std::cout);
   }
-  return 0;
+  return env.Finish();
 }

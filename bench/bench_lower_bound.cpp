@@ -4,16 +4,43 @@
 // binding + unit delays + simultaneous wakeup) and reports achieved time
 // against the theoretical floor, plus the locality diagnostics the
 // proof's order-equivalence argument relies on.
+//
+//   --threads=N   run the adversary experiments concurrently
+//   --json=PATH   write the BENCH_E12.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <iostream>
 
 #include "celect/adversary/lower_bound.h"
+#include "celect/harness/bench_json.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/protocol_e.h"
 #include "celect/proto/nosod/protocol_g.h"
 
-int main() {
+namespace {
+
+celect::harness::BenchRow LowerBoundRow(
+    const std::string& protocol, std::uint32_t n,
+    const celect::adversary::LowerBoundResult& r) {
+  celect::harness::BenchRow row;
+  row.protocol = protocol;
+  row.n = n;
+  row.seed_count = 1;
+  row.messages.Add(static_cast<double>(r.messages));
+  row.time.Add(r.elapsed_time);
+  row.extra.emplace_back("message_budget", r.message_budget);
+  row.extra.emplace_back("theoretical_floor", r.theoretical_floor);
+  row.extra.emplace_back("mean_degree", r.mean_degree);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E12");
 
   harness::PrintBanner(
       std::cout, "E12a (N sweep, protocol G at k = log N)",
@@ -21,18 +48,26 @@ int main() {
       "O(N log N)). time must sit above the N/16d floor, and the gap "
       "shows how close G runs to optimal.");
   {
+    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) sizes.push_back(n);
+    std::vector<adversary::LowerBoundResult> results(sizes.size());
+    harness::ParallelFor(sizes.size(), env.threads(), [&](std::size_t i) {
+      std::uint32_t d = proto::nosod::MessageOptimalK(sizes[i]);
+      results[i] = adversary::RunLowerBoundExperiment(
+          proto::nosod::MakeProtocolG(d), sizes[i], /*k=*/2 * d);
+    });
     Table t({"N", "messages", "budget Nd", "time", "floor N/16d",
              "time/floor", "mean_degree"});
-    for (std::uint32_t n = 64; n <= 2048; n *= 2) {
-      std::uint32_t d = proto::nosod::MessageOptimalK(n);
-      auto r = adversary::RunLowerBoundExperiment(
-          proto::nosod::MakeProtocolG(d), n, /*k=*/2 * d);
-      t.AddRow({Table::Int(n), Table::Int(r.messages),
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      t.AddRow({Table::Int(sizes[i]), Table::Int(r.messages),
                 Table::Num(r.message_budget, 0),
                 Table::Num(r.elapsed_time),
                 Table::Num(r.theoretical_floor),
                 Table::Num(r.elapsed_time / r.theoretical_floor),
                 Table::Num(r.mean_degree)});
+      env.reporter().Add(LowerBoundRow("G(k=logN)/adversary", sizes[i], r));
     }
     t.Print(std::cout);
   }
@@ -43,13 +78,21 @@ int main() {
       "protocol finish faster — the message/time tradeoff the theorem "
       "quantifies.");
   {
-    const std::uint32_t n = 512;
+    const std::uint32_t n = env.quick() ? 128 : 512;
+    std::vector<std::uint32_t> ds = {2u, 4u, 8u, 16u, 32u, 64u};
+    if (env.quick()) ds = {2u, 8u, 32u};
+    std::vector<adversary::LowerBoundResult> results(ds.size());
+    harness::ParallelFor(ds.size(), env.threads(), [&](std::size_t i) {
+      results[i] = adversary::RunLowerBoundExperiment(
+          proto::nosod::MakeProtocolG(2 * ds[i]), n, /*k=*/2 * ds[i]);
+    });
     Table t({"d (=k/2)", "floor N/16d", "G(k=2d) time", "messages"});
-    for (std::uint32_t d : {2u, 4u, 8u, 16u, 32u, 64u}) {
-      auto r = adversary::RunLowerBoundExperiment(
-          proto::nosod::MakeProtocolG(2 * d), n, /*k=*/2 * d);
-      t.AddRow({Table::Int(d), Table::Num(r.theoretical_floor),
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const auto& r = results[i];
+      t.AddRow({Table::Int(ds[i]), Table::Num(r.theoretical_floor),
                 Table::Num(r.elapsed_time), Table::Int(r.messages)});
+      env.reporter().Add(LowerBoundRow(
+          "G(k=" + std::to_string(2 * ds[i]) + ")/adversary", n, r));
     }
     t.Print(std::cout);
   }
@@ -59,15 +102,24 @@ int main() {
       "The Up-first adversary keeps communication confined to small "
       "identity neighbourhoods — the order-equivalence mechanism.");
   {
+    std::vector<std::uint32_t> sizes = {64u, 128u, 256u};
+    if (env.quick()) sizes = {64u, 128u};
+    std::vector<adversary::LowerBoundResult> results(sizes.size());
+    harness::ParallelFor(sizes.size(), env.threads(), [&](std::size_t i) {
+      results[i] = adversary::RunLowerBoundExperiment(
+          proto::nosod::MakeProtocolE(), sizes[i], /*k=*/4);
+    });
     Table t({"N", "mean_degree", "max identity distance", "time"});
-    for (std::uint32_t n : {64u, 128u, 256u}) {
-      auto r = adversary::RunLowerBoundExperiment(
-          proto::nosod::MakeProtocolE(), n, /*k=*/4);
-      t.AddRow({Table::Int(n), Table::Num(r.mean_degree),
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      t.AddRow({Table::Int(sizes[i]), Table::Num(r.mean_degree),
                 Table::Num(r.max_bound_distance, 0),
                 Table::Num(r.elapsed_time)});
+      auto row = LowerBoundRow("E/adversary", sizes[i], r);
+      row.extra.emplace_back("max_bound_distance", r.max_bound_distance);
+      env.reporter().Add(std::move(row));
     }
     t.Print(std::cout);
   }
-  return 0;
+  return env.Finish();
 }

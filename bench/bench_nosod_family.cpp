@@ -3,38 +3,58 @@
 //   F: O(Nk) messages, O(N/k) time — the k tradeoff, log N <= k <= N.
 // The F sweep is the paper's central tradeoff curve: messages rise
 // linearly in k while time falls as N/k, with D as the k = N endpoint.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E7.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/protocol_d.h"
 #include "celect/proto/nosod/protocol_f.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E7");
 
   harness::PrintBanner(std::cout, "E7 (protocol D)",
                        "Flooding: constant time, quadratic messages.");
   {
-    Table t({"N", "messages", "msgs/N^2", "time"});
-    std::vector<double> ns, msgs;
-    for (std::uint32_t n = 32; n <= 1024; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 32; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
-      auto r = harness::RunElection(proto::nosod::MakeProtocolD(), o);
+      grid.push_back({"D", proto::nosod::MakeProtocolD(), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "messages", "msgs/N^2", "time"});
+    std::vector<double> ns, msgs;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      std::uint32_t n = sizes[i];
       ns.push_back(n);
       msgs.push_back(static_cast<double>(r.total_messages));
       t.AddRow({Table::Int(n), Table::Int(r.total_messages),
                 Table::Num(r.total_messages / (double(n) * n), 3),
                 Table::Num(r.leader_time.ToDouble())});
+      env.reporter().Add(harness::MakeBenchRow("D", n, {r}));
     }
     t.Print(std::cout);
+    auto fit = FitPowerLaw(ns, msgs);
     std::cout << "\nD message growth: N^"
-              << Table::Num(FitPowerLaw(ns, msgs).alpha)
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
               << " (paper: 2.0)\n";
   }
 
@@ -43,13 +63,24 @@ int main() {
       "O(Nk) messages vs O(N/k) time when all nodes wake together "
       "(Lemma 4.1). k = N reproduces D; k = log N is message optimal.");
   {
-    const std::uint32_t n = 512;
-    Table t({"k", "messages", "msgs/(N*k)", "time", "time*(k/N)",
-             "broadcasters"});
-    for (std::uint32_t k : {4u, 9u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const std::uint32_t n = env.quick() ? 128 : 512;
+    std::vector<std::uint32_t> ks = {4u, 9u, 16u, 32u, 64u, 128u, 256u,
+                                     512u};
+    if (env.quick()) ks = {4u, 16u, 128u};
+    std::vector<SweepPoint> grid;
+    for (std::uint32_t k : ks) {
       RunOptions o;
       o.n = n;
-      auto r = harness::RunElection(proto::nosod::MakeProtocolF(k), o);
+      grid.push_back(
+          {"F(k=" + std::to_string(k) + ")", proto::nosod::MakeProtocolF(k),
+           o});
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"k", "messages", "msgs/(N*k)", "time", "time*(k/N)",
+             "broadcasters"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const auto& r = results[i];
+      std::uint32_t k = ks[i];
       auto b = r.counters.count("f.broadcasters")
                    ? r.counters.at("f.broadcasters")
                    : 0;
@@ -58,6 +89,7 @@ int main() {
                 Table::Num(r.leader_time.ToDouble()),
                 Table::Num(r.leader_time.ToDouble() * k / n, 3),
                 Table::Int(static_cast<std::uint64_t>(b))});
+      env.reporter().Add(harness::MakeBenchRow(grid[i].protocol, n, {r}));
     }
     t.Print(std::cout);
   }
@@ -66,21 +98,31 @@ int main() {
       std::cout, "E9b (protocol F, N sweep at k = log N)",
       "The message-optimal point: O(N log N) messages, O(N/log N) time.");
   {
-    Table t({"N", "k", "messages", "msgs/(N*logN)", "time",
-             "time/(N/logN)"});
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       std::uint32_t k = static_cast<std::uint32_t>(
           std::lround(std::log2(static_cast<double>(n))));
       RunOptions o;
       o.n = n;
-      auto r = harness::RunElection(proto::nosod::MakeProtocolF(k), o);
+      grid.push_back({"F(k=logN)", proto::nosod::MakeProtocolF(k), o});
+      points.emplace_back(n, k);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "k", "messages", "msgs/(N*logN)", "time",
+             "time/(N/logN)"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& r = results[i];
+      auto [n, k] = points[i];
       double log_n = std::log2(static_cast<double>(n));
       t.AddRow({Table::Int(n), Table::Int(k), Table::Int(r.total_messages),
                 Table::Num(r.total_messages / (n * log_n)),
                 Table::Num(r.leader_time.ToDouble()),
                 Table::Num(r.leader_time.ToDouble() / (n / log_n), 3)});
+      env.reporter().Add(harness::MakeBenchRow("F(k=logN)", n, {r}));
     }
     t.Print(std::cout);
   }
-  return 0;
+  return env.Finish();
 }

@@ -6,46 +6,68 @@
 // keeps one forward in flight and buffers the best contender, restoring
 // O(1)-time captures. We measure max per-link load and election time
 // for both variants.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E8.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 #include <memory>
 
 #include "celect/adversary/adaptive_adversary.h"
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/efg_engine.h"
 #include "celect/proto/nosod/protocol_e.h"
 #include "celect/sim/runtime.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E8");
 
   harness::PrintBanner(
       std::cout, "E8 (Ɛ throttle vs raw AG85)",
       "All nodes wake together (maximum contention). max_link_load is "
       "the largest number of messages one directed link carried — the "
       "congestion the throttle eliminates.");
-
-  Table t({"N", "raw msgs", "raw time", "raw in-flight", "Ɛ msgs",
-           "Ɛ time", "Ɛ in-flight"});
-  for (std::uint32_t n = 32; n <= 512; n *= 2) {
-    RunOptions o;
-    o.n = n;
-    o.identity = harness::IdentityKind::kRandomPermutation;
-    o.seed = n;
-    auto raw = harness::RunElection(proto::nosod::MakeProtocolE(false), o);
-    auto eps = harness::RunElection(proto::nosod::MakeProtocolE(true), o);
-    t.AddRow({Table::Int(n), Table::Int(raw.total_messages),
-              Table::Num(raw.leader_time.ToDouble()),
-              Table::Int(raw.max_link_inflight),
-              Table::Int(eps.total_messages),
-              Table::Num(eps.leader_time.ToDouble()),
-              Table::Int(eps.max_link_inflight)});
+  {
+    const std::uint32_t n_max = env.quick() ? 128 : 512;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 32; n <= n_max; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.identity = harness::IdentityKind::kRandomPermutation;
+      o.seed = n;
+      grid.push_back({"E/raw", proto::nosod::MakeProtocolE(false), o});
+      grid.push_back({"E/throttled", proto::nosod::MakeProtocolE(true), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "raw msgs", "raw time", "raw in-flight", "Ɛ msgs",
+             "Ɛ time", "Ɛ in-flight"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& raw = results[2 * i];
+      const auto& eps = results[2 * i + 1];
+      t.AddRow({Table::Int(sizes[i]), Table::Int(raw.total_messages),
+                Table::Num(raw.leader_time.ToDouble()),
+                Table::Int(raw.max_link_inflight),
+                Table::Int(eps.total_messages),
+                Table::Num(eps.leader_time.ToDouble()),
+                Table::Int(eps.max_link_inflight)});
+      env.reporter().Add(harness::MakeBenchRow("E/raw", sizes[i], {raw}));
+      env.reporter().Add(
+          harness::MakeBenchRow("E/throttled", sizes[i], {eps}));
+    }
+    t.Print(std::cout);
   }
-  t.Print(std::cout);
   std::cout << "\n(random port maps rarely funnel contenders through one "
                "node — see E8c for the adversarial pile-up)\n";
 
@@ -57,54 +79,76 @@ int main() {
       "Θ(N), unit spacing serialises them); the Ɛ throttle keeps one "
       "outstanding and resolves the strongest first.");
   {
+    const std::uint32_t n_max = env.quick() ? 128 : 512;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 32; n <= n_max; n *= 2) sizes.push_back(n);
+    // The adaptive funnel mapper needs a custom NetworkConfig, so this
+    // series drives ParallelFor directly: slot 2i raw, 2i+1 throttled.
+    std::vector<sim::RunResult> results(2 * sizes.size());
+    harness::ParallelFor(results.size(), env.threads(), [&](std::size_t i) {
+      std::uint32_t n = sizes[i / 2];
+      bool throttle = (i % 2) != 0;
+      sim::NetworkConfig config;
+      config.n = n;
+      config.mapper = std::make_unique<adversary::AdaptiveAdversaryMapper>(
+          n, adversary::FunnelStrategy(n, /*victim=*/0));
+      config.delays = sim::MakeUnitDelay();
+      config.wakeup = sim::WakeAllAtZero(n);
+      sim::Runtime rt(std::move(config),
+                      proto::nosod::MakeProtocolE(throttle));
+      results[i] = rt.Run();
+    });
     harness::Table t3({"N", "raw in-flight", "raw time", "Ɛ in-flight",
                        "Ɛ time"});
-    std::vector<double> ns, raw_inflight, eps_inflight;
-    for (std::uint32_t n = 32; n <= 512; n *= 2) {
-      auto run = [n](bool throttle) {
-        sim::NetworkConfig config;
-        config.n = n;
-        config.mapper = std::make_unique<
-            adversary::AdaptiveAdversaryMapper>(
-            n, adversary::FunnelStrategy(n, /*victim=*/0));
-        config.delays = sim::MakeUnitDelay();
-        config.wakeup = sim::WakeAllAtZero(n);
-        sim::Runtime rt(std::move(config),
-                        proto::nosod::MakeProtocolE(throttle));
-        return rt.Run();
-      };
-      auto raw = run(false);
-      auto eps = run(true);
-      ns.push_back(n);
+    std::vector<double> ns, raw_inflight;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& raw = results[2 * i];
+      const auto& eps = results[2 * i + 1];
+      ns.push_back(sizes[i]);
       raw_inflight.push_back(static_cast<double>(raw.max_link_inflight));
-      eps_inflight.push_back(static_cast<double>(eps.max_link_inflight));
-      t3.AddRow({Table::Int(n), Table::Int(raw.max_link_inflight),
+      t3.AddRow({Table::Int(sizes[i]), Table::Int(raw.max_link_inflight),
                  Table::Num(raw.leader_time.ToDouble()),
                  Table::Int(eps.max_link_inflight),
                  Table::Num(eps.leader_time.ToDouble())});
+      env.reporter().Add(
+          harness::MakeBenchRow("E/funnel-raw", sizes[i], {raw}));
+      env.reporter().Add(
+          harness::MakeBenchRow("E/funnel-throttled", sizes[i], {eps}));
     }
     t3.Print(std::cout);
+    auto fit = FitPowerLaw(ns, raw_inflight);
     std::cout << "\nraw in-flight growth: N^"
-              << Table::Num(FitPowerLaw(ns, raw_inflight).alpha)
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
               << " — the Θ(N) pile-up; throttled stays O(1).\n";
   }
 
   harness::PrintBanner(
       std::cout, "E8b (Ɛ message complexity)",
       "Ɛ alone (walk to level N-1): O(N log N) messages, O(N) time.");
-  Table t2({"N", "messages", "msgs/(N*logN)", "time", "time/N"});
-  for (std::uint32_t n = 64; n <= 1024; n *= 2) {
-    RunOptions o;
-    o.n = n;
-    o.identity = harness::IdentityKind::kRandomPermutation;
-    o.seed = 3 * n + 1;
-    auto r = harness::RunElection(proto::nosod::MakeProtocolE(true), o);
-    double log_n = std::log2(static_cast<double>(n));
-    t2.AddRow({Table::Int(n), Table::Int(r.total_messages),
-               Table::Num(r.total_messages / (n * log_n)),
-               Table::Num(r.leader_time.ToDouble()),
-               Table::Num(r.leader_time.ToDouble() / n, 3)});
+  {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
+      RunOptions o;
+      o.n = n;
+      o.identity = harness::IdentityKind::kRandomPermutation;
+      o.seed = 3 * n + 1;
+      grid.push_back({"E", proto::nosod::MakeProtocolE(true), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t2({"N", "messages", "msgs/(N*logN)", "time", "time/N"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& r = results[i];
+      double log_n = std::log2(static_cast<double>(sizes[i]));
+      t2.AddRow({Table::Int(sizes[i]), Table::Int(r.total_messages),
+                 Table::Num(r.total_messages / (sizes[i] * log_n)),
+                 Table::Num(r.leader_time.ToDouble()),
+                 Table::Num(r.leader_time.ToDouble() / sizes[i], 3)});
+      env.reporter().Add(harness::MakeBenchRow("E", sizes[i], {r}));
+    }
+    t2.Print(std::cout);
   }
-  t2.Print(std::cout);
-  return 0;
+  return env.Finish();
 }

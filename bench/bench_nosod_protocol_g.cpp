@@ -3,22 +3,31 @@
 // Series: (1) F vs G under the staggered wakeup adversary (F degrades,
 // G does not), (2) G's k tradeoff, (3) G's N sweep at the
 // message-optimal k = log N, the point matching the §5 lower bound.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E10.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/protocol_f.h"
 #include "celect/proto/nosod/protocol_g.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
   using proto::nosod::MakeProtocolF;
   using proto::nosod::MakeProtocolG;
   using proto::nosod::MessageOptimalK;
+
+  harness::BenchEnv env(argc, argv, "E10");
 
   harness::PrintBanner(
       std::cout, "E10a (F vs G under staggered wakeups)",
@@ -26,18 +35,29 @@ int main() {
       "fails and its time drifts toward Θ(N); G's first-phase ordering "
       "caps it at O(N/k). k = 16.");
   {
-    Table t({"N", "F time", "G time", "F msgs", "G msgs"});
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    std::vector<SweepPoint> grid;
+    std::vector<std::uint32_t> sizes;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
       o.wakeup = harness::WakeupKind::kStaggeredChain;
       o.stagger_spacing = 0.9;
-      auto rf = harness::RunElection(MakeProtocolF(16), o);
-      auto rg = harness::RunElection(MakeProtocolG(16), o);
-      t.AddRow({Table::Int(n), Table::Num(rf.leader_time.ToDouble()),
+      grid.push_back({"F/chain", MakeProtocolF(16), o});
+      grid.push_back({"G/chain", MakeProtocolG(16), o});
+      sizes.push_back(n);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "F time", "G time", "F msgs", "G msgs"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& rf = results[2 * i];
+      const auto& rg = results[2 * i + 1];
+      t.AddRow({Table::Int(sizes[i]), Table::Num(rf.leader_time.ToDouble()),
                 Table::Num(rg.leader_time.ToDouble()),
                 Table::Int(rf.total_messages),
                 Table::Int(rg.total_messages)});
+      env.reporter().Add(harness::MakeBenchRow("F/chain", sizes[i], {rf}));
+      env.reporter().Add(harness::MakeBenchRow("G/chain", sizes[i], {rg}));
     }
     t.Print(std::cout);
   }
@@ -46,16 +66,25 @@ int main() {
       std::cout, "E10b (protocol G, k sweep at N = 512)",
       "O(Nk) messages vs O(N/k) time, wakeups simultaneous.");
   {
-    const std::uint32_t n = 512;
-    Table t({"k", "messages", "msgs/(N*k)", "time", "time*(k/N)"});
-    for (std::uint32_t k : {4u, 9u, 16u, 32u, 64u, 128u, 256u}) {
+    const std::uint32_t n = env.quick() ? 128 : 512;
+    std::vector<std::uint32_t> ks = {4u, 9u, 16u, 32u, 64u, 128u, 256u};
+    if (env.quick()) ks = {4u, 16u, 64u};
+    std::vector<SweepPoint> grid;
+    for (std::uint32_t k : ks) {
       RunOptions o;
       o.n = n;
-      auto r = harness::RunElection(MakeProtocolG(k), o);
-      t.AddRow({Table::Int(k), Table::Int(r.total_messages),
-                Table::Num(r.total_messages / (double(n) * k), 3),
+      grid.push_back({"G(k=" + std::to_string(k) + ")", MakeProtocolG(k),
+                      o});
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"k", "messages", "msgs/(N*k)", "time", "time*(k/N)"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const auto& r = results[i];
+      t.AddRow({Table::Int(ks[i]), Table::Int(r.total_messages),
+                Table::Num(r.total_messages / (double(n) * ks[i]), 3),
                 Table::Num(r.leader_time.ToDouble()),
-                Table::Num(r.leader_time.ToDouble() * k / n, 3)});
+                Table::Num(r.leader_time.ToDouble() * ks[i] / n, 3)});
+      env.reporter().Add(harness::MakeBenchRow(grid[i].protocol, n, {r}));
     }
     t.Print(std::cout);
   }
@@ -65,14 +94,23 @@ int main() {
       "The message-optimal point: O(N log N) messages and O(N/log N) "
       "time — tight against Theorem 5.1's Ω(N/log N).");
   {
-    Table t({"N", "k", "messages", "msgs/(N*logN)", "time",
-             "time/(N/logN)"});
-    std::vector<double> ns, times;
-    for (std::uint32_t n = 64; n <= 2048; n *= 2) {
+    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    std::vector<SweepPoint> grid;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
+    for (std::uint32_t n = 64; n <= n_max; n *= 2) {
       std::uint32_t k = MessageOptimalK(n);
       RunOptions o;
       o.n = n;
-      auto r = harness::RunElection(MakeProtocolG(k), o);
+      grid.push_back({"G(k=logN)", MakeProtocolG(k), o});
+      points.emplace_back(n, k);
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"N", "k", "messages", "msgs/(N*logN)", "time",
+             "time/(N/logN)"});
+    std::vector<double> ns, times;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& r = results[i];
+      auto [n, k] = points[i];
       double log_n = std::log2(static_cast<double>(n));
       ns.push_back(n);
       times.push_back(r.leader_time.ToDouble());
@@ -80,11 +118,13 @@ int main() {
                 Table::Num(r.total_messages / (n * log_n)),
                 Table::Num(r.leader_time.ToDouble()),
                 Table::Num(r.leader_time.ToDouble() / (n / log_n), 3)});
+      env.reporter().Add(harness::MakeBenchRow("G(k=logN)", n, {r}));
     }
     t.Print(std::cout);
+    auto fit = FitPowerLaw(ns, times);
     std::cout << "\nG time growth at k=logN: N^"
-              << Table::Num(FitPowerLaw(ns, times).alpha)
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
               << " (paper: ~1 up to the log factor)\n";
   }
-  return 0;
+  return env.Finish();
 }

@@ -4,64 +4,81 @@
 // The series shows the paper's motivation: LMW86 is message optimal but
 // slow, B is fast but not message optimal; protocol C (bench_sod_protocol_c)
 // gets both.
+//
+//   --threads=N   fan the grid over worker threads (results identical)
+//   --json=PATH   write the BENCH_E2.json document
+//   --quick       shrink the sweep for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/sod/lmw86.h"
 #include "celect/proto/sod/protocol_b.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E2");
+
+  const std::uint32_t n_max = env.quick() ? 256 : 2048;
+  std::vector<SweepPoint> grid;
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t n = 32; n <= n_max; n *= 2) {
+    RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    grid.push_back({"lmw86", proto::sod::MakeLmw86(), o});
+    grid.push_back({"B", proto::sod::MakeProtocolB(), o});
+    sizes.push_back(n);
+  }
+  auto results = harness::RunSweep(grid, env.sweep());
 
   harness::PrintBanner(std::cout, "E2 (LMW86 baseline)",
                        "Majority capture: O(N) messages, O(N) time under "
                        "worst-case delays.");
-
-  std::vector<double> ns, lmw_msgs, lmw_times;
+  std::vector<double> ns, lmw_msgs;
   Table t1({"N", "messages", "msgs/N", "time", "time/N"});
-  for (std::uint32_t n = 32; n <= 2048; n *= 2) {
-    RunOptions o;
-    o.n = n;
-    o.mapper = harness::MapperKind::kSenseOfDirection;
-    auto r = harness::RunElection(proto::sod::MakeLmw86(), o);
-    double nd = n;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& r = results[2 * i];
+    double nd = sizes[i];
     ns.push_back(nd);
     lmw_msgs.push_back(static_cast<double>(r.total_messages));
-    lmw_times.push_back(r.leader_time.ToDouble());
-    t1.AddRow({Table::Int(n), Table::Int(r.total_messages),
+    t1.AddRow({Table::Int(sizes[i]), Table::Int(r.total_messages),
                Table::Num(r.total_messages / nd),
                Table::Num(r.leader_time.ToDouble()),
                Table::Num(r.leader_time.ToDouble() / nd, 3)});
+    env.reporter().Add(harness::MakeBenchRow("lmw86", sizes[i], {r}));
   }
   t1.Print(std::cout);
   auto msg_fit = FitPowerLaw(ns, lmw_msgs);
-  std::cout << "\nLMW86 message growth: N^" << Table::Num(msg_fit.alpha)
+  std::cout << "\nLMW86 message growth: N^"
+            << (msg_fit.valid ? Table::Num(msg_fit.alpha) : "(fit invalid)")
             << " (paper: linear, exponent 1)\n";
 
   harness::PrintBanner(std::cout, "E5 (protocol B)",
                        "Doubling: O(log N) time but O(N log N) messages.");
   Table t2({"N", "messages", "msgs/(N*logN)", "time", "time/logN"});
   std::vector<double> b_times;
-  for (std::uint32_t n = 32; n <= 2048; n *= 2) {
-    RunOptions o;
-    o.n = n;
-    o.mapper = harness::MapperKind::kSenseOfDirection;
-    auto r = harness::RunElection(proto::sod::MakeProtocolB(), o);
-    double log_n = std::log2(static_cast<double>(n));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& r = results[2 * i + 1];
+    double log_n = std::log2(static_cast<double>(sizes[i]));
     b_times.push_back(r.leader_time.ToDouble());
-    t2.AddRow({Table::Int(n), Table::Int(r.total_messages),
-               Table::Num(r.total_messages / (n * log_n)),
+    t2.AddRow({Table::Int(sizes[i]), Table::Int(r.total_messages),
+               Table::Num(r.total_messages / (sizes[i] * log_n)),
                Table::Num(r.leader_time.ToDouble()),
                Table::Num(r.leader_time.ToDouble() / log_n)});
+    env.reporter().Add(harness::MakeBenchRow("B", sizes[i], {r}));
   }
   t2.Print(std::cout);
   std::cout << "\nB time log-slope: "
             << Table::Num(FitLogSlope(ns, b_times))
             << " time-units per doubling (flat slope = logarithmic)\n";
-  return 0;
+  return env.Finish();
 }

@@ -3,43 +3,61 @@
 //   A′: awaken wave ⇒ O(k + N/k) time, O(√N) at k = √N, still O(N) msgs.
 // Three series: (1) message sweep over k showing the N²/k² term,
 // (2) the staggered pathology on A, (3) the same pathology on A′.
+//
+//   --threads=N   fan the grids over worker threads (results identical)
+//   --json=PATH   write the BENCH_E3.json document
+//   --quick       shrink the sweeps for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/sod/protocol_a.h"
 #include "celect/proto/sod/protocol_a_prime.h"
 #include "celect/sim/runtime.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
   using proto::sod::MakeProtocolA;
   using proto::sod::MakeProtocolAPrime;
   using proto::sod::ProtocolAParams;
+
+  harness::BenchEnv env(argc, argv, "E3");
 
   harness::PrintBanner(
       std::cout, "E3a (protocol A, message sweep over k)",
       "Messages follow O(N + N^2/k^2): small k pays a quadratic elect "
       "round, k >= sqrt(N) is linear. N = 1024.");
   {
-    const std::uint32_t n = 1024;
-    Table t({"k", "messages", "msgs/N", "N^2/k^2 term", "time"});
-    for (std::uint32_t k : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const std::uint32_t n = env.quick() ? 256 : 1024;
+    std::vector<std::uint32_t> ks = {4u, 8u, 16u, 32u, 64u, 128u, 256u,
+                                     512u};
+    if (env.quick()) ks = {4u, 16u, 64u};
+    std::vector<SweepPoint> grid;
+    for (std::uint32_t k : ks) {
       ProtocolAParams p;
       p.k = k;
       RunOptions o;
       o.n = n;
       o.mapper = harness::MapperKind::kSenseOfDirection;
-      auto r = harness::RunElection(MakeProtocolA(p), o);
-      double quad = static_cast<double>(n) * n / (double(k) * k);
-      t.AddRow({Table::Int(k), Table::Int(r.total_messages),
+      grid.push_back({"A(k=" + std::to_string(k) + ")", MakeProtocolA(p), o});
+    }
+    auto results = harness::RunSweep(grid, env.sweep());
+    Table t({"k", "messages", "msgs/N", "N^2/k^2 term", "time"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const auto& r = results[i];
+      double quad = static_cast<double>(n) * n / (double(ks[i]) * ks[i]);
+      t.AddRow({Table::Int(ks[i]), Table::Int(r.total_messages),
                 Table::Num(r.total_messages / double(n)),
                 Table::Num(quad, 0),
                 Table::Num(r.leader_time.ToDouble())});
+      env.reporter().Add(harness::MakeBenchRow(grid[i].protocol, n, {r}));
     }
     t.Print(std::cout);
   }
@@ -53,34 +71,59 @@ int main() {
       "costs Θ(N²/k²) messages — the term the k ≥ √N choice suppresses. "
       "N = 1024.");
   {
-    const std::uint32_t n = 1024;
-    harness::Table t({"k", "phase2 candidates", "messages", "msgs/N",
-                      "N^2/k^2 term"});
-    for (std::uint32_t k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const std::uint32_t n = env.quick() ? 256 : 1024;
+    std::vector<std::uint32_t> ks = {4u, 8u, 16u, 32u, 64u, 128u};
+    if (env.quick()) ks = {4u, 16u, 64u};
+    // Custom NetworkConfig (WakeEveryKth) sits outside RunOptions, so this
+    // series drives ParallelFor directly instead of RunSweep.
+    std::vector<sim::RunResult> results(ks.size());
+    harness::ParallelFor(ks.size(), env.threads(), [&](std::size_t i) {
       ProtocolAParams p;
-      p.k = k;
+      p.k = ks[i];
       sim::NetworkConfig config;
       config.n = n;
       config.mapper = sim::MakeSodMapper(n);
       config.delays = sim::MakeUnitDelay();
-      config.wakeup = sim::WakeEveryKth(n, k + 1);
+      config.wakeup = sim::WakeEveryKth(n, ks[i] + 1);
       sim::Runtime rt(std::move(config), MakeProtocolA(p));
-      auto r = rt.Run();
-      double quad = static_cast<double>(n) * n / (double(k) * k);
+      results[i] = rt.Run();
+    });
+    harness::Table t({"k", "phase2 candidates", "messages", "msgs/N",
+                      "N^2/k^2 term"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const auto& r = results[i];
+      double quad = static_cast<double>(n) * n / (double(ks[i]) * ks[i]);
       std::int64_t cands =
           r.counters.count(proto::sod::kCounterPhase2)
               ? r.counters.at(proto::sod::kCounterPhase2)
               : 0;
-      t.AddRow({Table::Int(k),
+      t.AddRow({Table::Int(ks[i]),
                 Table::Int(static_cast<std::uint64_t>(cands)),
                 Table::Int(r.total_messages),
                 Table::Num(r.total_messages / double(n)),
                 Table::Num(quad, 0)});
+      env.reporter().Add(harness::MakeBenchRow(
+          "A/plantation(k=" + std::to_string(ks[i]) + ")", n, {r}));
     }
     t.Print(std::cout);
     std::cout << "\n(messages track N + N^2/k^2: the quadratic term "
                  "dominates for k << sqrt(N) = 32)\n";
   }
+
+  const std::uint32_t chain_max = env.quick() ? 256 : 1024;
+  std::vector<SweepPoint> chain_grid;
+  std::vector<std::uint32_t> chain_sizes;
+  for (std::uint32_t n = 64; n <= chain_max; n *= 2) {
+    RunOptions o;
+    o.n = n;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    o.wakeup = harness::WakeupKind::kStaggeredChain;
+    o.stagger_spacing = 0.9;
+    chain_grid.push_back({"A/chain", MakeProtocolA({}), o});
+    chain_grid.push_back({"A'/chain", MakeProtocolAPrime(), o});
+    chain_sizes.push_back(n);
+  }
+  auto chain_results = harness::RunSweep(chain_grid, env.sweep());
 
   harness::PrintBanner(
       std::cout, "E3b (protocol A, staggered wakeup chain)",
@@ -89,23 +132,21 @@ int main() {
   std::vector<double> ns, a_times;
   {
     Table t({"N", "time", "time/N", "messages"});
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
-      RunOptions o;
-      o.n = n;
-      o.mapper = harness::MapperKind::kSenseOfDirection;
-      o.wakeup = harness::WakeupKind::kStaggeredChain;
-      o.stagger_spacing = 0.9;
-      auto r = harness::RunElection(MakeProtocolA({}), o);
+    for (std::size_t i = 0; i < chain_sizes.size(); ++i) {
+      std::uint32_t n = chain_sizes[i];
+      const auto& r = chain_results[2 * i];
       ns.push_back(n);
       a_times.push_back(r.leader_time.ToDouble());
       t.AddRow({Table::Int(n), Table::Num(r.leader_time.ToDouble()),
                 Table::Num(r.leader_time.ToDouble() / n, 3),
                 Table::Int(r.total_messages)});
+      env.reporter().Add(harness::MakeBenchRow("A/chain", n, {r}));
     }
     t.Print(std::cout);
     auto fit = FitPowerLaw(ns, a_times);
     std::cout << "\nA time growth under the chain: N^"
-              << Table::Num(fit.alpha) << " (paper: linear)\n";
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
+              << " (paper: linear)\n";
   }
 
   harness::PrintBanner(
@@ -115,25 +156,22 @@ int main() {
   {
     Table t({"N", "time", "time/sqrt(N)", "messages", "msgs/N"});
     std::vector<double> ap_times;
-    for (std::uint32_t n = 64; n <= 1024; n *= 2) {
-      RunOptions o;
-      o.n = n;
-      o.mapper = harness::MapperKind::kSenseOfDirection;
-      o.wakeup = harness::WakeupKind::kStaggeredChain;
-      o.stagger_spacing = 0.9;
-      auto r = harness::RunElection(MakeProtocolAPrime(), o);
+    for (std::size_t i = 0; i < chain_sizes.size(); ++i) {
+      std::uint32_t n = chain_sizes[i];
+      const auto& r = chain_results[2 * i + 1];
       double sq = std::sqrt(static_cast<double>(n));
       ap_times.push_back(r.leader_time.ToDouble());
       t.AddRow({Table::Int(n), Table::Num(r.leader_time.ToDouble()),
                 Table::Num(r.leader_time.ToDouble() / sq),
                 Table::Int(r.total_messages),
                 Table::Num(r.total_messages / double(n))});
+      env.reporter().Add(harness::MakeBenchRow("A'/chain", n, {r}));
     }
     t.Print(std::cout);
     auto fit = FitPowerLaw(ns, ap_times);
     std::cout << "\nA' time growth under the chain: N^"
-              << Table::Num(fit.alpha)
+              << (fit.valid ? Table::Num(fit.alpha) : "(fit invalid)")
               << " (paper: 0.5 — the sqrt-N bound)\n";
   }
-  return 0;
+  return env.Finish();
 }

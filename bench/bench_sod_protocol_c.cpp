@@ -2,36 +2,57 @@
 // O(N) messages AND O(log N) time simultaneously. Sweeps N and compares
 // against LMW86 (message-optimal, slow) and B (fast, message-heavy):
 // C should track LMW86's message line and B's time line.
+//
+//   --threads=N   fan the grid over worker threads (results identical)
+//   --json=PATH   write the BENCH_E6.json document
+//   --quick       shrink the sweep for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/sod/lmw86.h"
 #include "celect/proto/sod/protocol_b.h"
 #include "celect/proto/sod/protocol_c.h"
 #include "celect/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E6");
 
   harness::PrintBanner(
       std::cout, "E6 (protocol C)",
       "C = stride walk (candidates -> N/logN) + doubling: O(N) messages "
       "and O(log N) time. Columns compare C, LMW86 and B per N.");
 
-  Table t({"N", "C msgs", "C msgs/N", "C time", "C time/logN",
-           "LMW86 msgs", "LMW86 time", "B msgs", "B time"});
-  std::vector<double> ns, c_msgs, c_times;
-  for (std::uint32_t n = 32; n <= 4096; n *= 2) {
+  const std::uint32_t n_max = env.quick() ? 256 : 4096;
+  std::vector<SweepPoint> grid;
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t n = 32; n <= n_max; n *= 2) {
     RunOptions o;
     o.n = n;
     o.mapper = harness::MapperKind::kSenseOfDirection;
-    auto rc = harness::RunElection(proto::sod::MakeProtocolC(), o);
-    auto rl = harness::RunElection(proto::sod::MakeLmw86(), o);
-    auto rb = harness::RunElection(proto::sod::MakeProtocolB(), o);
+    grid.push_back({"C", proto::sod::MakeProtocolC(), o});
+    grid.push_back({"lmw86", proto::sod::MakeLmw86(), o});
+    grid.push_back({"B", proto::sod::MakeProtocolB(), o});
+    sizes.push_back(n);
+  }
+  auto results = harness::RunSweep(grid, env.sweep());
+
+  Table t({"N", "C msgs", "C msgs/N", "C time", "C time/logN",
+           "LMW86 msgs", "LMW86 time", "B msgs", "B time"});
+  std::vector<double> ns, c_msgs, c_times;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::uint32_t n = sizes[i];
+    const auto& rc = results[3 * i];
+    const auto& rl = results[3 * i + 1];
+    const auto& rb = results[3 * i + 2];
     double log_n = std::log2(static_cast<double>(n));
     ns.push_back(n);
     c_msgs.push_back(static_cast<double>(rc.total_messages));
@@ -44,11 +65,15 @@ int main() {
               Table::Num(rl.leader_time.ToDouble()),
               Table::Int(rb.total_messages),
               Table::Num(rb.leader_time.ToDouble())});
+    env.reporter().Add(harness::MakeBenchRow("C", n, {rc}));
+    env.reporter().Add(harness::MakeBenchRow("lmw86", n, {rl}));
+    env.reporter().Add(harness::MakeBenchRow("B", n, {rb}));
   }
   t.Print(std::cout);
 
   auto msg_fit = FitPowerLaw(ns, c_msgs);
-  std::cout << "\nC message growth: N^" << Table::Num(msg_fit.alpha)
+  std::cout << "\nC message growth: N^"
+            << (msg_fit.valid ? Table::Num(msg_fit.alpha) : "(fit invalid)")
             << " (paper: 1.0)\n";
   std::cout << "C time per doubling of N: "
             << Table::Num(FitLogSlope(ns, c_times))
@@ -58,24 +83,30 @@ int main() {
       std::cout, "E6b (protocol C, adversarial wakeups)",
       "C's bounds hold regardless of wakeup pattern: staggered chain and "
       "single-base runs at N = 1024.");
-  Table t2({"wakeup", "messages", "time"});
-  for (auto wakeup : {harness::WakeupKind::kAllAtZero,
-                      harness::WakeupKind::kStaggeredChain,
-                      harness::WakeupKind::kSingle}) {
+  const std::uint32_t n_adv = env.quick() ? 128 : 1024;
+  std::vector<SweepPoint> grid2;
+  const std::vector<std::pair<harness::WakeupKind, const char*>> wakeups = {
+      {harness::WakeupKind::kAllAtZero, "all-at-zero"},
+      {harness::WakeupKind::kStaggeredChain, "staggered 0.9"},
+      {harness::WakeupKind::kSingle, "single"}};
+  for (const auto& [wakeup, name] : wakeups) {
     RunOptions o;
-    o.n = 1024;
+    o.n = n_adv;
     o.mapper = harness::MapperKind::kSenseOfDirection;
     o.wakeup = wakeup;
     o.stagger_spacing = 0.9;
-    auto r = harness::RunElection(proto::sod::MakeProtocolC(), o);
-    const char* name = wakeup == harness::WakeupKind::kAllAtZero
-                           ? "all-at-zero"
-                           : (wakeup == harness::WakeupKind::kSingle
-                                  ? "single"
-                                  : "staggered 0.9");
-    t2.AddRow({name, Table::Int(r.total_messages),
+    grid2.push_back({std::string("C/") + name, proto::sod::MakeProtocolC(),
+                     o});
+  }
+  auto results2 = harness::RunSweep(grid2, env.sweep());
+  Table t2({"wakeup", "messages", "time"});
+  for (std::size_t i = 0; i < wakeups.size(); ++i) {
+    const auto& r = results2[i];
+    t2.AddRow({wakeups[i].second, Table::Int(r.total_messages),
                Table::Num(r.leader_time.ToDouble())});
+    env.reporter().Add(
+        harness::MakeBenchRow(grid2[i].protocol, n_adv, {r}));
   }
   t2.Print(std::cout);
-  return 0;
+  return env.Finish();
 }

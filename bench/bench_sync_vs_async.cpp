@@ -2,19 +2,27 @@
 // elect in Θ(log N) rounds at O(N log N) messages (AG85); the paper
 // proves message-optimal *asynchronous* protocols need Ω(N/log N) time
 // — a loss factor of N/(log N)². We measure both sides.
+//
+//   --threads=N   run the size points concurrently
+//   --json=PATH   write the BENCH_E13.json document
+//   --quick       shrink the sweep for CI smoke runs
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/ag85_sync.h"
 #include "celect/proto/nosod/protocol_g.h"
 #include "celect/sim/network.h"
 #include "celect/sim/sync_runtime.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "E13");
 
   harness::PrintBanner(
       std::cout, "E13 (synchronous vs asynchronous, message-optimal)",
@@ -22,29 +30,55 @@ int main() {
       "under worst-case delays. gap = async_time / sync_rounds; theory "
       "predicts it grows like N/(log N)^2.");
 
-  Table t({"N", "sync rounds", "sync msgs", "async time", "async msgs",
-           "gap", "N/(logN)^2"});
-  for (std::uint32_t n = 64; n <= 1024; n *= 2) {
+  const std::uint32_t n_max = env.quick() ? 256 : 1024;
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t n = 64; n <= n_max; n *= 2) sizes.push_back(n);
+  struct Point {
+    std::uint32_t sync_rounds = 0;
+    std::uint64_t sync_messages = 0;
+    sim::RunResult async;
+  };
+  // The sync side needs its own SyncRuntime (not RunOptions), so the
+  // sweep drives ParallelFor directly: both sides of one size point run
+  // in the same slot.
+  std::vector<Point> points(sizes.size());
+  harness::ParallelFor(sizes.size(), env.threads(), [&](std::size_t i) {
+    std::uint32_t n = sizes[i];
     sim::SyncRuntime sync_rt(n, sim::IdentitiesAscending(n),
                              sim::MakeRandomMapper(n, n),
                              proto::nosod::MakeAg85Sync());
     auto sync = sync_rt.Run();
+    points[i].sync_rounds = sync.rounds;
+    points[i].sync_messages = sync.total_messages;
 
     harness::RunOptions o;
     o.n = n;
-    auto async = harness::RunElection(
+    points[i].async = harness::RunElection(
         proto::nosod::MakeProtocolG(proto::nosod::MessageOptimalK(n)), o);
+  });
 
+  Table t({"N", "sync rounds", "sync msgs", "async time", "async msgs",
+           "gap", "N/(logN)^2"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::uint32_t n = sizes[i];
+    const auto& p = points[i];
     double log_n = std::log2(static_cast<double>(n));
-    double gap = async.leader_time.ToDouble() / sync.rounds;
-    t.AddRow({Table::Int(n), Table::Int(sync.rounds),
-              Table::Int(sync.total_messages),
-              Table::Num(async.leader_time.ToDouble()),
-              Table::Int(async.total_messages), Table::Num(gap),
+    double gap = p.async.leader_time.ToDouble() / p.sync_rounds;
+    t.AddRow({Table::Int(n), Table::Int(p.sync_rounds),
+              Table::Int(p.sync_messages),
+              Table::Num(p.async.leader_time.ToDouble()),
+              Table::Int(p.async.total_messages), Table::Num(gap),
               Table::Num(n / (log_n * log_n))});
+    auto row = harness::MakeBenchRow("G(k=logN)/async", n, {p.async});
+    row.extra.emplace_back("sync_rounds",
+                           static_cast<double>(p.sync_rounds));
+    row.extra.emplace_back("sync_messages",
+                           static_cast<double>(p.sync_messages));
+    row.extra.emplace_back("gap", gap);
+    env.reporter().Add(std::move(row));
   }
   t.Print(std::cout);
   std::cout << "\nThe gap column should track the N/(logN)^2 column's "
                "growth (constant factors differ).\n";
-  return 0;
+  return env.Finish();
 }

@@ -1,16 +1,24 @@
 // E1 — Figure 1: sense-of-direction labelling is a consistent
 // Hamiltonian labelling. Validates the SoD port mapper at increasing
 // sizes, prints the six-node Figure-1 rendering, and times validation.
+//
+//   --threads=N   validate the sizes concurrently
+//   --json=PATH   write the BENCH_E1.json document
+//   --quick       shrink the size list for CI smoke runs
 #include <chrono>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/sim/port_mapper.h"
 #include "celect/topo/complete_graph.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using Clock = std::chrono::steady_clock;
+
+  harness::BenchEnv env(argc, argv, "E1");
 
   harness::PrintBanner(std::cout, "E1 (Figure 1)",
                        "A complete network with sense of direction: edge d "
@@ -20,19 +28,42 @@ int main() {
   topo::CompleteGraph fig1(6);
   std::cout << fig1.RenderFigure1() << "\n";
 
+  std::vector<std::uint32_t> sizes = {6u, 16u, 64u, 256u, 1024u};
+  if (env.quick()) sizes = {6u, 16u, 64u};
+  struct Row {
+    std::uint64_t edges = 0;
+    bool sod_ok = false;
+    bool port_ok = false;
+    double validate_ms = 0.0;
+  };
+  std::vector<Row> rows(sizes.size());
+  harness::ParallelFor(sizes.size(), env.threads(), [&](std::size_t i) {
+    topo::CompleteGraph g(sizes[i]);
+    auto mapper = sim::MakeSodMapper(sizes[i]);
+    auto t0 = Clock::now();
+    rows[i].sod_ok = g.ValidateSenseOfDirection(*mapper).empty();
+    rows[i].port_ok = g.ValidatePortAssignment(*mapper).empty();
+    rows[i].validate_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    rows[i].edges = g.edge_count();
+  });
+
   harness::Table table({"N", "edges", "sod_valid", "assignment_valid",
                         "validate_ms"});
-  for (std::uint32_t n : {6u, 16u, 64u, 256u, 1024u}) {
-    topo::CompleteGraph g(n);
-    auto mapper = sim::MakeSodMapper(n);
-    auto t0 = Clock::now();
-    std::string sod_err = g.ValidateSenseOfDirection(*mapper);
-    std::string port_err = g.ValidatePortAssignment(*mapper);
-    double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                    .count();
-    table.AddRow({harness::Table::Int(n), harness::Table::Int(g.edge_count()),
-                  sod_err.empty() ? "yes" : "NO", port_err.empty() ? "yes" : "NO",
-                  harness::Table::Num(ms)});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    table.AddRow({harness::Table::Int(sizes[i]),
+                  harness::Table::Int(rows[i].edges),
+                  rows[i].sod_ok ? "yes" : "NO",
+                  rows[i].port_ok ? "yes" : "NO",
+                  harness::Table::Num(rows[i].validate_ms)});
+    harness::BenchRow row;
+    row.protocol = "sod-mapper";
+    row.n = sizes[i];
+    row.seed_count = 1;
+    row.extra.emplace_back("edges", static_cast<double>(rows[i].edges));
+    row.extra.emplace_back("sod_valid", rows[i].sod_ok ? 1.0 : 0.0);
+    row.extra.emplace_back("assignment_valid", rows[i].port_ok ? 1.0 : 0.0);
+    env.reporter().Add(std::move(row));
   }
   table.Print(std::cout);
 
@@ -49,5 +80,5 @@ int main() {
                     : "rejected (expected)"});
   }
   rnd.Print(std::cout);
-  return 0;
+  return env.Finish();
 }

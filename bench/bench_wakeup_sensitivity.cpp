@@ -3,32 +3,43 @@
 // O(log N + min(r, N/log N)) where r is the number of base nodes. We
 // measure G's time as the base-node count r grows: time should rise
 // with r and saturate near N/log N.
+//
+//   --threads=N   fan the grid over worker threads (results identical)
+//   --json=PATH   write the BENCH_E15.json document
+//   --quick       shrink the sweep for CI smoke runs
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/experiment.h"
+#include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
 #include "celect/proto/nosod/protocol_g.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace celect;
   using harness::RunOptions;
+  using harness::SweepPoint;
   using harness::Table;
 
+  harness::BenchEnv env(argc, argv, "E15");
+
+  const std::uint32_t n = env.quick() ? 128 : 512;
+  const std::uint32_t k = proto::nosod::MessageOptimalK(n);
+  const int kSeeds = env.quick() ? 2 : 5;
+
   harness::PrintBanner(
-      std::cout, "E15 (time vs number of base nodes, N = 512)",
+      std::cout,
+      "E15 (time vs number of base nodes, N = " + std::to_string(n) + ")",
       "G at k = log N; r base nodes wake within one time unit. Paper's "
       "refined bound: O(log N + min(r, N/log N)).");
 
-  const std::uint32_t n = 512;
-  const std::uint32_t k = proto::nosod::MessageOptimalK(n);
-  Table t({"r (base nodes)", "G time", "G msgs", "G2 time", "G2 msgs",
-           "min(r, N/logN)"});
-  double cap = n / std::log2(static_cast<double>(n));
-  for (std::uint32_t r : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u,
-                          512u}) {
-    double g_time = 0, g_msgs = 0, g2_time = 0, g2_msgs = 0;
-    const int kSeeds = 5;
+  std::vector<std::uint32_t> rs;
+  for (std::uint32_t r = 1; r <= n; r *= 2) rs.push_back(r);
+
+  std::vector<SweepPoint> grid;
+  for (std::uint32_t r : rs) {
     for (int seed = 1; seed <= kSeeds; ++seed) {
       RunOptions o;
       o.n = n;
@@ -36,19 +47,33 @@ int main() {
       o.wakeup = harness::WakeupKind::kRandomSubset;
       o.wakeup_count = r;
       o.wakeup_window = 1.0;
-      auto g = harness::RunElection(proto::nosod::MakeProtocolG(k), o);
-      auto g2 =
-          harness::RunElection(proto::nosod::MakeProtocolGDoubling(k), o);
-      g_time += g.leader_time.ToDouble();
-      g_msgs += static_cast<double>(g.total_messages);
-      g2_time += g2.leader_time.ToDouble();
-      g2_msgs += static_cast<double>(g2.total_messages);
+      grid.push_back({"G", proto::nosod::MakeProtocolG(k), o});
+      grid.push_back({"G2", proto::nosod::MakeProtocolGDoubling(k), o});
     }
-    t.AddRow({Table::Int(r), Table::Num(g_time / kSeeds),
-              Table::Num(g_msgs / kSeeds, 0),
-              Table::Num(g2_time / kSeeds),
-              Table::Num(g2_msgs / kSeeds, 0),
-              Table::Num(std::min<double>(r, cap))});
+  }
+  auto results = harness::RunSweep(grid, env.sweep());
+
+  Table t({"r (base nodes)", "G time", "G msgs", "G2 time", "G2 msgs",
+           "min(r, N/logN)"});
+  double cap = n / std::log2(static_cast<double>(n));
+  const std::size_t per_r = 2 * static_cast<std::size_t>(kSeeds);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    std::vector<sim::RunResult> g_runs, g2_runs;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      g_runs.push_back(results[i * per_r + 2 * seed]);
+      g2_runs.push_back(results[i * per_r + 2 * seed + 1]);
+    }
+    auto g_row = harness::MakeBenchRow(
+        "G(r=" + std::to_string(rs[i]) + ")", n, g_runs);
+    auto g2_row = harness::MakeBenchRow(
+        "G2(r=" + std::to_string(rs[i]) + ")", n, g2_runs);
+    t.AddRow({Table::Int(rs[i]), Table::Num(g_row.time.mean()),
+              Table::Num(g_row.messages.mean(), 0),
+              Table::Num(g2_row.time.mean()),
+              Table::Num(g2_row.messages.mean(), 0),
+              Table::Num(std::min<double>(rs[i], cap))});
+    env.reporter().Add(std::move(g_row));
+    env.reporter().Add(std::move(g2_row));
   }
   t.Print(std::cout);
   std::cout << "\nG's time carries a ~N/k floor (the sequential walk); "
@@ -56,5 +81,5 @@ int main() {
                "O(log N + min(r, N/log N)) and grows only with min(r, "
                "N/logN), saturating past N/logN = "
             << Table::Num(cap) << ".\n";
-  return 0;
+  return env.Finish();
 }

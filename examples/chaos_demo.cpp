@@ -9,8 +9,10 @@
 //     tolerance, must still never declare two leaders.
 //
 //   ./chaos_demo [--n=16] [--f=2] [--seeds=50] [--seed0=1] [--loss=0.02]
+//               [--threads=N] [--json=PATH]
 #include <iostream>
 
+#include "celect/harness/bench_json.h"
 #include "celect/harness/chaos.h"
 #include "celect/proto/nosod/fault_tolerant.h"
 #include "celect/util/flags.h"
@@ -26,6 +28,10 @@ int main(int argc, char** argv) {
   auto seed0 = static_cast<std::uint64_t>(
       flags.GetInt("seed0", 1, "first seed of the sweep"));
   double loss = flags.GetDouble("loss", 0.02, "per-message loss rate");
+  auto threads = static_cast<std::uint32_t>(flags.GetInt(
+      "threads", 1, "sweep worker threads (0 = one per hardware thread)"));
+  std::string json_path =
+      flags.GetString("json", "", "write BENCH_chaos.json results here");
   if (flags.help_requested()) {
     std::cout << flags.HelpText();
     return 0;
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   opt.n = n;
   opt.max_crashes = f;
   opt.loss = loss;
+  opt.threads = threads;
 
   std::cout << "1) One case in detail (seed=" << seed0 << ")\n";
   auto c = harness::RunChaosCase(proto::nosod::MakeFaultTolerant(f), seed0,
@@ -78,12 +85,36 @@ int main(int argc, char** argv) {
   std::cout << "\n3) Registry safety sweep (every protocol, beyond its "
                "tolerance)\n";
   auto report = harness::SweepRegistryChaos(seed0, /*seeds_per_protocol=*/5,
-                                            n);
+                                            n, threads);
   std::cout << "   cases=" << report.cases
             << " violations=" << report.violations.size() << "\n";
   for (const auto& v : report.violations) {
     std::cout << "   VIOLATION " << v.protocol << " seed=" << v.seed << ": "
               << v.violation << "\n";
+  }
+
+  if (!json_path.empty()) {
+    harness::BenchReporter reporter("chaos");
+    harness::BenchRow row;
+    row.protocol = "FT(f=" + std::to_string(f) + ")";
+    row.n = n;
+    row.seed_count = sweep.cases;
+    row.messages = sweep.messages;
+    row.time = sweep.time;
+    row.wall_ns = sweep.wall_ns;
+    row.events_per_sec =
+        sweep.wall_ns > 0
+            ? static_cast<double>(sweep.events_processed) * 1e9 /
+                  static_cast<double>(sweep.wall_ns)
+            : 0.0;
+    row.extra.emplace_back("crashes",
+                           static_cast<double>(sweep.crashes_injected));
+    row.extra.emplace_back("lost",
+                           static_cast<double>(sweep.messages_lost));
+    row.extra.emplace_back("violations",
+                           static_cast<double>(sweep.violations.size()));
+    reporter.Add(std::move(row));
+    if (!reporter.WriteFile(json_path)) return 1;
   }
   return report.violations.empty() && sweep.violations.empty() ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "celect/analysis/invariants.h"
 #include "celect/harness/registry.h"
+#include "celect/harness/sweep.h"
 #include "celect/sim/network.h"
 #include "celect/sim/runtime.h"
 #include "celect/util/check.h"
@@ -111,15 +112,24 @@ ChaosCaseResult RunChaosCase(const sim::ProcessFactory& factory,
 ChaosSweepResult SweepChaos(const sim::ProcessFactory& factory,
                             std::uint64_t seed0, std::uint32_t count,
                             const ChaosOptions& opt) {
+  // Fan the independent seeded cases over the worker pool, then reduce
+  // in seed order — same totals and violation order as a serial sweep.
+  std::vector<ChaosCaseResult> cases(count);
+  ParallelFor(count, opt.threads, [&](std::size_t i) {
+    cases[i] = RunChaosCase(factory, seed0 + i, opt);
+  });
   ChaosSweepResult sweep;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ChaosCaseResult c = RunChaosCase(factory, seed0 + i, opt);
+  for (ChaosCaseResult& c : cases) {
     ++sweep.cases;
     sweep.crashes_injected += c.result.faults_injected;
     sweep.messages_lost += c.result.messages_lost;
     sweep.messages_duplicated += c.result.messages_duplicated;
     sweep.messages_reordered += c.result.messages_reordered;
     sweep.timers_fired += c.result.timers_fired;
+    sweep.messages.Add(static_cast<double>(c.result.total_messages));
+    sweep.time.Add(c.result.leader_time.ToDouble());
+    sweep.wall_ns += c.result.wall_ns;
+    sweep.events_processed += c.result.events_processed;
     if (!c.violation.empty()) sweep.violations.push_back(std::move(c));
   }
   return sweep;
@@ -127,7 +137,8 @@ ChaosSweepResult SweepChaos(const sim::ProcessFactory& factory,
 
 RegistryChaosReport SweepRegistryChaos(std::uint64_t seed0,
                                        std::uint32_t seeds_per_protocol,
-                                       std::uint32_t n) {
+                                       std::uint32_t n,
+                                       std::uint32_t threads) {
   RegistryChaosReport report;
   for (const auto& spec : AllProtocols()) {
     if (spec.needs_power_of_two && (n & (n - 1)) != 0) continue;
@@ -135,6 +146,7 @@ RegistryChaosReport SweepRegistryChaos(std::uint64_t seed0,
     opt.n = n;
     opt.max_crashes = 1;
     opt.loss = 0.02;
+    opt.threads = threads;
     // No duplication here: only the FT protocol is replay-hardened.
     opt.require_leader = false;
     opt.require_live_leader = false;

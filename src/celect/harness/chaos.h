@@ -26,6 +26,7 @@
 
 #include "celect/harness/experiment.h"
 #include "celect/sim/fault.h"
+#include "celect/util/stats.h"
 
 namespace celect::harness {
 
@@ -51,6 +52,11 @@ struct ChaosOptions {
   // case: monotone observables + message conservation. Leader-count
   // checks stay with the harness's own SAFETY/LIVENESS verdicts above.
   bool check_invariants = true;
+  // Worker threads for SweepChaos / SweepRegistryChaos (0 = one per
+  // hardware thread). Cases are independent seeded runs; the sweep
+  // reduces them in seed order, so totals and the violation list are
+  // identical for any thread count.
+  std::uint32_t threads = 1;
 };
 
 // Derives the run's fault plan from the seed: distinct crash victims with
@@ -80,6 +86,13 @@ struct ChaosSweepResult {
   std::uint64_t messages_duplicated = 0;
   std::uint64_t messages_reordered = 0;
   std::uint64_t timers_fired = 0;
+  // Per-case message/time distributions, reduced in seed order (bench
+  // JSON rows come from these).
+  Summary messages;
+  Summary time;
+  // Host-side cost of the whole sweep (non-deterministic).
+  std::uint64_t wall_ns = 0;
+  std::uint64_t events_processed = 0;
   // Only the violating cases are kept (each carries its repro seed).
   std::vector<ChaosCaseResult> violations;
 };
@@ -105,7 +118,8 @@ struct RegistryChaosReport {
 };
 RegistryChaosReport SweepRegistryChaos(std::uint64_t seed0,
                                        std::uint32_t seeds_per_protocol,
-                                       std::uint32_t n);
+                                       std::uint32_t n,
+                                       std::uint32_t threads = 1);
 
 // Stable 64-bit digest of everything observable in a RunResult. Equal
 // digests mean the runs were indistinguishable; tests use this to assert

@@ -1,17 +1,32 @@
 #include "celect/harness/experiment.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
 #include "celect/adversary/adaptive_adversary.h"
 #include "celect/sim/network.h"
 #include "celect/util/check.h"
+#include "celect/util/logging.h"
 #include "celect/util/rng.h"
 
 namespace celect::harness {
 
 using sim::NetworkConfig;
 using sim::Time;
+
+std::uint32_t RequestedWakeupCount(const RunOptions& options) {
+  std::uint32_t requested =
+      options.wakeup_count == 0 ? options.n / 2 : options.wakeup_count;
+  return std::max<std::uint32_t>(requested, 1);
+}
+
+std::uint32_t EffectiveWakeupCount(const RunOptions& options) {
+  // failures < n is CHECKed by BuildNetwork, so at least one node lives.
+  std::uint32_t live =
+      options.n - std::min(options.failures, options.n - 1);
+  return std::min(RequestedWakeupCount(options), live);
+}
 
 sim::NetworkConfig BuildNetwork(const RunOptions& options) {
   CELECT_CHECK(options.n >= 2);
@@ -91,9 +106,16 @@ sim::NetworkConfig BuildNetwork(const RunOptions& options) {
       config.wakeup.wakeups.emplace_back(0, Time::Zero());
       break;
     case WakeupKind::kRandomSubset: {
-      std::uint32_t count =
-          options.wakeup_count == 0 ? options.n / 2 : options.wakeup_count;
-      count = std::max<std::uint32_t>(count, 1);
+      CELECT_CHECK(options.wakeup_count <= options.n)
+          << "wakeup_count " << options.wakeup_count << " exceeds N="
+          << options.n;
+      std::uint32_t requested = RequestedWakeupCount(options);
+      std::uint32_t count = EffectiveWakeupCount(options);
+      if (count < requested) {
+        CELECT_LOG(Warn) << "kRandomSubset: only " << count
+                         << " live nodes; clamping wakeup_count from "
+                         << requested;
+      }
       Rng wake_rng = rng.Split(6);
       auto perm = wake_rng.Permutation(options.n);
       std::uint32_t added = 0;
@@ -106,7 +128,7 @@ sim::NetworkConfig BuildNetwork(const RunOptions& options) {
         config.wakeup.wakeups.emplace_back(node, at);
         if (++added == count) break;
       }
-      CELECT_CHECK(added >= 1) << "no live base node available";
+      CELECT_CHECK(added == count) << "no live base node available";
       break;
     }
     case WakeupKind::kStaggeredChain:
@@ -168,9 +190,15 @@ std::string Describe(const RunOptions& o) {
     case WakeupKind::kSingle:
       os << "single";
       break;
-    case WakeupKind::kRandomSubset:
-      os << "subset(" << o.wakeup_count << ")";
+    case WakeupKind::kRandomSubset: {
+      // Report the count that actually wakes, not just the request.
+      std::uint32_t requested = RequestedWakeupCount(o);
+      std::uint32_t actual = EffectiveWakeupCount(o);
+      os << "subset(" << actual;
+      if (actual < requested) os << ", clamped from " << requested;
+      os << ")";
       break;
+    }
     case WakeupKind::kStaggeredChain:
       os << "staggered(" << o.stagger_spacing << ")";
       break;

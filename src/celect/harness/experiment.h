@@ -59,6 +59,13 @@ sim::RunResult RunElection(const sim::ProcessFactory& factory,
 // Builds just the NetworkConfig (for callers that need the Runtime).
 sim::NetworkConfig BuildNetwork(const RunOptions& options);
 
+// kRandomSubset accounting: the requested base-node count (wakeup_count,
+// defaulting to N/2, floored at 1) and the count that actually wakes
+// after clamping to the live-node population. BuildNetwork CHECK-fails
+// when wakeup_count > n and logs a note whenever the clamp bites.
+std::uint32_t RequestedWakeupCount(const RunOptions& options);
+std::uint32_t EffectiveWakeupCount(const RunOptions& options);
+
 // Human-readable one-liner for logs and bench rows.
 std::string Describe(const RunOptions& options);
 std::string Summarize(const sim::RunResult& result);

@@ -1,0 +1,53 @@
+#include "celect/harness/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace celect::harness {
+
+std::uint32_t ResolveThreads(std::uint32_t requested, std::size_t count) {
+  std::uint32_t threads = requested;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (count < threads) threads = static_cast<std::uint32_t>(count);
+  return threads;
+}
+
+void ParallelFor(std::size_t count, std::uint32_t threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::uint32_t workers = ResolveThreads(threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Work stealing via a shared index: grids are heterogeneous (large-N
+  // cells dwarf small-N ones), so static partitioning would leave
+  // workers idle behind the slowest stripe.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &body] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+std::vector<sim::RunResult> RunSweep(const std::vector<SweepPoint>& grid,
+                                     const SweepOptions& options) {
+  std::vector<sim::RunResult> results(grid.size());
+  ParallelFor(grid.size(), options.threads, [&grid, &results](std::size_t i) {
+    results[i] = RunElection(grid[i].factory, grid[i].options);
+  });
+  return results;
+}
+
+}  // namespace celect::harness

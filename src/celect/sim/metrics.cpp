@@ -49,6 +49,13 @@ void Metrics::RecordInvariantViolation(const std::string& kind) {
   ++invariant_violations_by_kind_[kind];
 }
 
+void Metrics::RecordWallClock(std::uint64_t ns, std::uint64_t events) {
+  wall_ns_ = ns;
+  events_per_sec_ =
+      ns > 0 ? static_cast<double>(events) * 1e9 / static_cast<double>(ns)
+             : 0.0;
+}
+
 void Metrics::AddCounter(const std::string& name, std::int64_t delta) {
   counters_[name] += delta;
 }

@@ -36,6 +36,10 @@ class Metrics {
   // e.g. "multiple_leaders"). Mirrors the per-cause drop counters: zero
   // entries on clean runs, surfaced in RunResult::counters otherwise.
   void RecordInvariantViolation(const std::string& kind);
+  // Host wall-clock spent inside Runtime::Run, recorded once at the end
+  // of the run. Non-deterministic by nature: excluded from result
+  // fingerprints, reported for throughput (events/sec) accounting only.
+  void RecordWallClock(std::uint64_t ns, std::uint64_t events);
   void AddCounter(const std::string& name, std::int64_t delta);
   void MaxCounter(const std::string& name, std::int64_t value);
 
@@ -72,6 +76,8 @@ class Metrics {
   std::optional<NodeId> leader_node() const { return leader_node_; }
   std::optional<Id> leader_id() const { return leader_id_; }
   Time first_leader_time() const { return first_leader_time_; }
+  std::uint64_t wall_ns() const { return wall_ns_; }
+  double events_per_sec() const { return events_per_sec_; }
 
  private:
   std::uint64_t messages_sent_ = 0;
@@ -93,6 +99,8 @@ class Metrics {
   std::optional<NodeId> leader_node_;
   std::optional<Id> leader_id_;
   Time first_leader_time_ = Time::Zero();
+  std::uint64_t wall_ns_ = 0;
+  double events_per_sec_ = 0.0;
 };
 
 }  // namespace celect::sim

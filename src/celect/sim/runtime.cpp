@@ -1,6 +1,7 @@
 #include "celect/sim/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_map>
 
@@ -359,6 +360,7 @@ RunResult Runtime::Run() {
   CELECT_CHECK(!ran_) << "Runtime::Run may be called only once";
   ran_ = true;
 
+  auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t events = 0;
   if (options_.controller) {
     RunControlled(events);
@@ -377,6 +379,12 @@ RunResult Runtime::Run() {
     RunInspect in = MakeInspect();
     options_.observer->AtQuiescence(in);
   }
+  metrics_.RecordWallClock(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count()),
+      events);
 
   RunResult r;
   r.leader_id = metrics_.leader_id();
@@ -396,6 +404,8 @@ RunResult Runtime::Run() {
   r.timers_set = metrics_.timers_set();
   r.timers_fired = metrics_.timers_fired();
   r.invariant_violations = metrics_.invariant_violations();
+  r.wall_ns = metrics_.wall_ns();
+  r.events_per_sec = metrics_.events_per_sec();
   r.aborted_by_controller = aborted_by_controller_;
   r.messages_by_type = metrics_.by_type();
   r.counters = metrics_.counters();

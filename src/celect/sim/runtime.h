@@ -70,6 +70,12 @@ struct RunResult {
   std::uint64_t timers_fired = 0;
   // Invariant-registry tally (zero unless an observer recorded any).
   std::uint64_t invariant_violations = 0;
+  // Host wall-clock spent inside Run() and the resulting event
+  // throughput. Non-deterministic (machine/load dependent): excluded
+  // from FingerprintResult and from byte-identity comparisons; reported
+  // so bench sweeps can track simulator performance.
+  std::uint64_t wall_ns = 0;
+  double events_per_sec = 0.0;
   // True when a ScheduleController cut the run short (the queue did not
   // drain; quiescence checks were skipped).
   bool aborted_by_controller = false;

@@ -67,7 +67,10 @@ PowerLawFit FitPowerLaw(const std::vector<double>& xs,
   double dn = static_cast<double>(n);
   double denom = dn * sxx - sx * sx;
   PowerLawFit fit;
+  // Degenerate abscissa (all xs equal): no slope is identifiable. Leave
+  // valid = false so callers can tell this apart from a real fit.
   if (denom == 0) return fit;
+  fit.valid = true;
   fit.alpha = (dn * sxy - sx * sy) / denom;
   fit.constant = std::exp((sy - fit.alpha * sx) / dn);
   double ss_tot = syy - sy * sy / dn;
@@ -77,7 +80,14 @@ PowerLawFit FitPowerLaw(const std::vector<double>& xs,
     double resid = std::log(ys[i]) - pred;
     ss_res += resid * resid;
   }
-  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  if (ss_tot > 0) {
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    // Zero total variance: the fit explains the data only if the
+    // residuals are zero too (up to rounding); don't report a perfect
+    // r^2 just because the denominator vanished.
+    fit.r_squared = ss_res <= 1e-12 ? 1.0 : 0.0;
+  }
   return fit;
 }
 

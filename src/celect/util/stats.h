@@ -40,13 +40,19 @@ class Summary {
 
 // Result of fitting y = c * x^alpha by least squares in log-log space.
 struct PowerLawFit {
+  // False when the input was degenerate (all xs equal: the slope is
+  // undefined). alpha/constant/r_squared are meaningless then.
+  bool valid = false;
   double alpha = 0.0;      // fitted exponent
   double constant = 0.0;   // fitted c
   double r_squared = 0.0;  // goodness of fit in log-log space
 };
 
 // Fits y = c * x^alpha. Requires xs.size() == ys.size() >= 2 and all
-// values strictly positive.
+// values strictly positive. Check `valid` before using the fit: inputs
+// whose xs are all equal cannot determine an exponent. r_squared is
+// 1 - ss_res/ss_tot; when the ys carry no variance (ss_tot == 0) it is
+// 1 only if the residuals are also (numerically) zero, else 0.
 PowerLawFit FitPowerLaw(const std::vector<double>& xs,
                         const std::vector<double>& ys);
 

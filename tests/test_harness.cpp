@@ -85,6 +85,45 @@ TEST(Experiment, DifferentSeedsUsuallyDiffer) {
               r1.leader_time != r2.leader_time);
 }
 
+TEST(ExperimentDeathTest, SubsetWakeupCountAboveNChecks) {
+  RunOptions o;
+  o.n = 8;
+  o.wakeup = WakeupKind::kRandomSubset;
+  o.wakeup_count = 9;
+  EXPECT_DEATH(BuildNetwork(o), "exceeds");
+}
+
+TEST(Experiment, SubsetWakeupClampsToLivePopulation) {
+  // 8 nodes, 5 failed: only 3 live nodes exist, so a request for 6 base
+  // nodes must wake exactly the 3 live ones instead of under-filling or
+  // spinning. Used to silently wake fewer nodes than requested.
+  RunOptions o;
+  o.n = 8;
+  o.failures = 5;
+  o.wakeup = WakeupKind::kRandomSubset;
+  o.wakeup_count = 6;
+  EXPECT_EQ(RequestedWakeupCount(o), 6u);
+  EXPECT_EQ(EffectiveWakeupCount(o), 3u);
+  auto config = BuildNetwork(o);
+  EXPECT_EQ(config.wakeup.wakeups.size(), 3u);
+  for (const auto& [node, at] : config.wakeup.wakeups) {
+    EXPECT_FALSE(config.failed[node]) << "woke a failed node " << node;
+  }
+  std::string desc = Describe(o);
+  EXPECT_NE(desc.find("subset(3, clamped from 6)"), std::string::npos)
+      << desc;
+}
+
+TEST(Experiment, SubsetWakeupDefaultsToHalf) {
+  RunOptions o;
+  o.n = 8;
+  o.wakeup = WakeupKind::kRandomSubset;  // wakeup_count 0 -> N/2
+  EXPECT_EQ(EffectiveWakeupCount(o), 4u);
+  auto config = BuildNetwork(o);
+  EXPECT_EQ(config.wakeup.wakeups.size(), 4u);
+  EXPECT_NE(Describe(o).find("subset(4)"), std::string::npos);
+}
+
 TEST(Experiment, FailuresNeverIncludeNodeZero) {
   RunOptions o;
   o.n = 16;

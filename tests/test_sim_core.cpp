@@ -58,6 +58,15 @@ TEST(EventQueue, PeekTimeMatchesNextPop) {
   EXPECT_EQ(q.PeekTime(), Time::FromUnits(1));
 }
 
+TEST(EventQueueDeathTest, PeekTimeOnEmptyQueueChecks) {
+  EventQueue q;
+  EXPECT_DEATH(q.PeekTime(), "");
+  // The precondition holds again once the queue refills and drains.
+  q.Push(Time::FromUnits(1), WakeupEvent{0});
+  q.Pop();
+  EXPECT_DEATH(q.PeekTime(), "");
+}
+
 TEST(LinkTable, SimpleTransit) {
   LinkTable links(4);
   Time a = links.Admit(0, 1, Time::Zero(), {kUnit, kUnit});

@@ -69,9 +69,30 @@ TEST(FitPowerLaw, RecoversExactExponent) {
     ys.push_back(3.5 * std::pow(x, 1.7));
   }
   auto fit = FitPowerLaw(xs, ys);
+  EXPECT_TRUE(fit.valid);
   EXPECT_NEAR(fit.alpha, 1.7, 1e-9);
   EXPECT_NEAR(fit.constant, 3.5, 1e-6);
   EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitPowerLaw, AllEqualAbscissaIsInvalid) {
+  // Every x identical: the log-log regression has zero x-variance, so no
+  // exponent is identifiable. Used to silently divide by zero.
+  std::vector<double> xs{8, 8, 8, 8}, ys{1, 2, 3, 4};
+  auto fit = FitPowerLaw(xs, ys);
+  EXPECT_FALSE(fit.valid);
+}
+
+TEST(FitPowerLaw, ConstantOrdinateHasHonestRSquared) {
+  // ys carry no variance (ss_tot == 0). A constant model fits perfectly,
+  // so r² must report 1, not NaN from 0/0.
+  std::vector<double> xs{2, 4, 8, 16}, ys{5, 5, 5, 5};
+  auto fit = FitPowerLaw(xs, ys);
+  EXPECT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.alpha, 0.0, 1e-12);
+  EXPECT_NEAR(fit.constant, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+  EXPECT_FALSE(std::isnan(fit.r_squared));
 }
 
 TEST(FitPowerLaw, LinearDataHasAlphaOne) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json documents emitted by the bench pipeline.
+
+Usage:
+  check_bench_json.py FILE [FILE ...]
+      Validate each file against schema_version 1.
+
+  check_bench_json.py --compare A B
+      Additionally require A and B to be identical after zeroing the
+      host-measurement fields (wall_ns, events_per_sec) — the
+      serial-vs-parallel determinism check: a --threads=1 run and a
+      --threads=8 run of the same grid must produce the same rows.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+SUMMARY_KEYS = {"mean", "sd", "min", "max"}
+ROW_REQUIRED = {
+    "n",
+    "protocol",
+    "seed_count",
+    "messages",
+    "time",
+    "wall_ns",
+    "events_per_sec",
+}
+ROW_OPTIONAL = {"extra"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_summary(path, row_index, name, value):
+    if not isinstance(value, dict) or set(value) != SUMMARY_KEYS:
+        fail(path, f"rows[{row_index}].{name}: expected keys {SUMMARY_KEYS}")
+    for key, v in value.items():
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(path, f"rows[{row_index}].{name}.{key}: not a number")
+
+
+def check_document(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable: {e}")
+    for key in ("suite", "git_rev", "schema_version", "rows"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if doc["schema_version"] != 1:
+        fail(path, f"unsupported schema_version {doc['schema_version']}")
+    if not isinstance(doc["suite"], str) or not doc["suite"]:
+        fail(path, "suite must be a non-empty string")
+    if not isinstance(doc["rows"], list) or not doc["rows"]:
+        fail(path, "rows must be a non-empty list")
+    for i, row in enumerate(doc["rows"]):
+        keys = set(row)
+        if not ROW_REQUIRED <= keys:
+            fail(path, f"rows[{i}]: missing {sorted(ROW_REQUIRED - keys)}")
+        if keys - ROW_REQUIRED - ROW_OPTIONAL:
+            fail(
+                path,
+                f"rows[{i}]: unknown keys "
+                f"{sorted(keys - ROW_REQUIRED - ROW_OPTIONAL)}",
+            )
+        if not isinstance(row["n"], int) or row["n"] <= 0:
+            fail(path, f"rows[{i}].n: expected a positive integer")
+        if not isinstance(row["protocol"], str) or not row["protocol"]:
+            fail(path, f"rows[{i}].protocol: expected a non-empty string")
+        if not isinstance(row["seed_count"], int) or row["seed_count"] < 1:
+            fail(path, f"rows[{i}].seed_count: expected an integer >= 1")
+        check_summary(path, i, "messages", row["messages"])
+        check_summary(path, i, "time", row["time"])
+        if not isinstance(row["wall_ns"], int) or row["wall_ns"] < 0:
+            fail(path, f"rows[{i}].wall_ns: expected a non-negative integer")
+        if "extra" in row:
+            if not isinstance(row["extra"], dict):
+                fail(path, f"rows[{i}].extra: expected an object")
+            for k, v in row["extra"].items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(path, f"rows[{i}].extra.{k}: not a number")
+    return doc
+
+
+def strip_wall(doc):
+    for row in doc["rows"]:
+        row["wall_ns"] = 0
+        row["events_per_sec"] = 0
+    return doc
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--compare":
+        if len(argv) != 3:
+            fail("usage", "--compare takes exactly two files")
+        a_path, b_path = argv[1], argv[2]
+        a = strip_wall(check_document(a_path))
+        b = strip_wall(check_document(b_path))
+        if a != b:
+            fail(
+                a_path,
+                f"differs from {b_path} beyond wall_ns/events_per_sec "
+                "(sweep results are not thread-count invariant)",
+            )
+        print(f"OK: {a_path} == {b_path} modulo wall fields")
+        return
+    if not argv:
+        fail("usage", "expected at least one BENCH_*.json path")
+    for path in argv:
+        doc = check_document(path)
+        print(f"OK: {path} ({doc['suite']}, {len(doc['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
