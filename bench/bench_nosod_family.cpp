@@ -7,6 +7,8 @@
 //   --threads=N   fan the grids over worker threads (results identical)
 //   --json=PATH   write the BENCH_E7.json document
 //   --quick       shrink the sweeps for CI smoke runs
+//   --telemetry   fold latency/queue-depth histograms into the JSON
+//   --trace=PATH  write a Perfetto trace of one F run (N = 64, k = 8)
 #include <cmath>
 #include <iostream>
 
@@ -14,6 +16,7 @@
 #include "celect/harness/experiment.h"
 #include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
+#include "celect/obs/trace_export.h"
 #include "celect/proto/nosod/protocol_d.h"
 #include "celect/proto/nosod/protocol_f.h"
 #include "celect/util/stats.h"
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t n = 32; n <= n_max; n *= 2) {
       RunOptions o;
       o.n = n;
+      o.enable_telemetry = env.telemetry();
       grid.push_back({"D", proto::nosod::MakeProtocolD(), o});
       sizes.push_back(n);
     }
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
                 Table::Num(r.total_messages / (double(n) * n), 3),
                 Table::Num(r.leader_time.ToDouble())});
       env.reporter().Add(harness::MakeBenchRow("D", n, {r}));
+      env.reporter().MergeTelemetry(r.telemetry);
     }
     t.Print(std::cout);
     auto fit = FitPowerLaw(ns, msgs);
@@ -123,6 +128,20 @@ int main(int argc, char** argv) {
       env.reporter().Add(harness::MakeBenchRow("F(k=logN)", n, {r}));
     }
     t.Print(std::cout);
+  }
+
+  if (!env.trace_path().empty()) {
+    RunOptions o;
+    o.n = 64;
+    harness::TracedRun traced =
+        harness::RunElectionTraced(proto::nosod::MakeProtocolF(8), o);
+    obs::TraceExportOptions eo;
+    eo.process_name = "protocol F n=64 k=8 seed=1";
+    if (!obs::WriteChromeTrace(env.trace_path(), traced.records, eo)) {
+      return 1;
+    }
+    std::cout << "\nwrote " << env.trace_path() << " ("
+              << traced.records.size() << " records)\n";
   }
   return env.Finish();
 }

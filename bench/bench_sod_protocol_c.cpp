@@ -6,6 +6,8 @@
 //   --threads=N   fan the grid over worker threads (results identical)
 //   --json=PATH   write the BENCH_E6.json document
 //   --quick       shrink the sweep for CI smoke runs
+//   --telemetry   fold latency/queue-depth histograms into the JSON
+//   --trace=PATH  write a Perfetto trace of one C run (N = 64)
 #include <cmath>
 #include <iostream>
 
@@ -13,6 +15,7 @@
 #include "celect/harness/experiment.h"
 #include "celect/harness/sweep.h"
 #include "celect/harness/table.h"
+#include "celect/obs/trace_export.h"
 #include "celect/proto/sod/lmw86.h"
 #include "celect/proto/sod/protocol_b.h"
 #include "celect/proto/sod/protocol_c.h"
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
     RunOptions o;
     o.n = n;
     o.mapper = harness::MapperKind::kSenseOfDirection;
+    o.enable_telemetry = env.telemetry();
     grid.push_back({"C", proto::sod::MakeProtocolC(), o});
     grid.push_back({"lmw86", proto::sod::MakeLmw86(), o});
     grid.push_back({"B", proto::sod::MakeProtocolB(), o});
@@ -68,6 +72,9 @@ int main(int argc, char** argv) {
     env.reporter().Add(harness::MakeBenchRow("C", n, {rc}));
     env.reporter().Add(harness::MakeBenchRow("lmw86", n, {rl}));
     env.reporter().Add(harness::MakeBenchRow("B", n, {rb}));
+    env.reporter().MergeTelemetry(rc.telemetry);
+    env.reporter().MergeTelemetry(rl.telemetry);
+    env.reporter().MergeTelemetry(rb.telemetry);
   }
   t.Print(std::cout);
 
@@ -108,5 +115,20 @@ int main(int argc, char** argv) {
         harness::MakeBenchRow(grid2[i].protocol, n_adv, {r}));
   }
   t2.Print(std::cout);
+
+  if (!env.trace_path().empty()) {
+    RunOptions o;
+    o.n = 64;
+    o.mapper = harness::MapperKind::kSenseOfDirection;
+    harness::TracedRun traced =
+        harness::RunElectionTraced(proto::sod::MakeProtocolC(), o);
+    obs::TraceExportOptions eo;
+    eo.process_name = "protocol C n=64 seed=1";
+    if (!obs::WriteChromeTrace(env.trace_path(), traced.records, eo)) {
+      return 1;
+    }
+    std::cout << "\nwrote " << env.trace_path() << " ("
+              << traced.records.size() << " records)\n";
+  }
   return env.Finish();
 }

@@ -243,6 +243,24 @@ ReplayOutcome ReplaySchedule(const sim::ProcessFactory& factory,
   return out;
 }
 
+TracedReplayOutcome ReplayScheduleTraced(
+    const sim::ProcessFactory& factory, const ConfigFactory& config,
+    const std::vector<std::uint32_t>& choices,
+    const InvariantOptions& invariants) {
+  InvariantRegistry registry(invariants);
+  ReplayController controller(choices);
+  sim::RuntimeOptions ro;
+  ro.observer = &registry;
+  ro.controller = &controller;
+  ro.enable_trace = true;
+  sim::Runtime runtime(config(), factory, ro);
+  TracedReplayOutcome out;
+  out.result = runtime.Run();
+  out.records = runtime.trace().records();
+  out.violations = registry.violations();
+  return out;
+}
+
 std::string ScheduleToString(const std::vector<std::uint32_t>& choices) {
   std::string s;
   for (std::uint32_t c : choices) {

@@ -104,6 +104,20 @@ ReplayOutcome ReplaySchedule(const sim::ProcessFactory& factory,
                              const std::vector<std::uint32_t>& choices,
                              const InvariantOptions& invariants = {});
 
+// ReplaySchedule with tracing on: same deterministic replay, plus the
+// full trace record stream — the bridge from a shrunk counterexample to
+// a Perfetto timeline (obs::WriteChromeTrace) or the trace inspector's
+// causal-chain view.
+struct TracedReplayOutcome {
+  sim::RunResult result;
+  std::vector<sim::TraceRecord> records;
+  std::vector<std::string> violations;
+};
+TracedReplayOutcome ReplayScheduleTraced(
+    const sim::ProcessFactory& factory, const ConfigFactory& config,
+    const std::vector<std::uint32_t>& choices,
+    const InvariantOptions& invariants = {});
+
 // "2.0.1" <-> {2, 0, 1}; the empty vector renders "" and parses back.
 std::string ScheduleToString(const std::vector<std::uint32_t>& choices);
 std::vector<std::uint32_t> ScheduleFromString(const std::string& s);

@@ -99,11 +99,28 @@ BenchRow MakeBenchRow(const std::string& protocol, std::uint32_t n,
 
 std::string BenchReporter::GitRev() { return CELECT_GIT_REV; }
 
+std::string HistogramJson(const obs::Histogram& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+     << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+     << ", \"mean\": " << JsonNumber(h.mean())
+     << ", \"p50\": " << h.ApproxQuantile(0.5)
+     << ", \"p90\": " << h.ApproxQuantile(0.9)
+     << ", \"p99\": " << h.ApproxQuantile(0.99) << ", \"buckets\": [";
+  const std::size_t used = h.BucketsUsed();
+  for (std::size_t b = 0; b < used; ++b) {
+    if (b) os << ", ";
+    os << h.buckets()[b];
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string BenchReporter::ToJson() const {
   std::ostringstream os;
   os << "{\n  \"suite\": " << JsonString(suite_)
      << ",\n  \"git_rev\": " << JsonString(GitRev())
-     << ",\n  \"schema_version\": 1,\n  \"rows\": [";
+     << ",\n  \"schema_version\": 2,\n  \"rows\": [";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const BenchRow& r = rows_[i];
     os << (i ? ",\n    " : "\n    ") << "{\"n\": " << r.n
@@ -125,7 +142,16 @@ std::string BenchReporter::ToJson() const {
     }
     os << "}";
   }
-  os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
+  os << (rows_.empty() ? "]" : "\n  ]");
+  if (!telemetry_.Empty()) {
+    os << ",\n  \"histograms\": {"
+       << "\n    \"latency\": " << HistogramJson(telemetry_.latency)
+       << ",\n    \"queue_depth\": "
+       << HistogramJson(telemetry_.queue_depth)
+       << ",\n    \"capture_width\": "
+       << HistogramJson(telemetry_.capture_width) << "\n  }";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
@@ -154,6 +180,12 @@ BenchEnv::BenchEnv(int argc, const char* const* argv, std::string suite)
       "write BENCH_" + reporter_.suite() + ".json-style results here");
   quick_ = flags.GetBool("quick", false,
                          "shrink sweep grids for CI smoke runs");
+  trace_path_ = flags.GetString(
+      "trace", "",
+      "write a Perfetto trace of one representative run here");
+  telemetry_ = flags.GetBool(
+      "telemetry", false,
+      "collect latency/queue-depth histograms into the JSON document");
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
     std::exit(0);

@@ -7,20 +7,30 @@
 //   env.reporter().Add(BenchRow{...});       // one row per sweep point
 //   return env.Finish();                     // writes --json if requested
 //
-// Document schema (schema_version 1):
+// Document schema (schema_version 2):
 //
 //   {
 //     "suite": "E6",
 //     "git_rev": "<short rev or unknown>",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "rows": [
 //       { "n": 32, "protocol": "C", "seed_count": 1,
 //         "messages": {"mean":..., "sd":..., "min":..., "max":...},
 //         "time":     {"mean":..., "sd":..., "min":..., "max":...},
 //         "wall_ns": ..., "events_per_sec": ...,
-//         "extra": {"k": 4, ...} }          // optional, suite-specific
-//     ]
+//         "extra": {"k": 4, ...} },         // optional, suite-specific
+//     ],
+//     "histograms": {                       // optional: merged telemetry
+//       "latency":       {"count":..., "sum":..., "min":..., "max":...,
+//                         "mean":..., "p50":..., "p90":..., "p99":...,
+//                         "buckets": [...]},// power-of-two bucket counts
+//       "queue_depth":   {...},
+//       "capture_width": {...}
+//     }
 //   }
+//
+// schema_version 1 is version 2 minus the "histograms" key; readers that
+// accept 2 accept 1.
 //
 // Everything except wall_ns / events_per_sec is a deterministic function
 // of the grid: rows from a --threads=8 run are byte-identical to a
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "celect/harness/sweep.h"
+#include "celect/obs/telemetry.h"
 #include "celect/sim/runtime.h"
 #include "celect/util/stats.h"
 
@@ -73,8 +84,14 @@ class BenchReporter {
 
   void Add(BenchRow row) { rows_.push_back(std::move(row)); }
 
+  // Folds a run's telemetry into the document-level "histograms"
+  // section. Merge in grid order for byte-stable output; the section is
+  // omitted while the merged bundle is Empty().
+  void MergeTelemetry(const obs::Telemetry& t) { telemetry_.Merge(t); }
+
   const std::string& suite() const { return suite_; }
   const std::vector<BenchRow>& rows() const { return rows_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
 
   // The git revision compiled into the library ("unknown" outside a
   // configured checkout).
@@ -87,11 +104,18 @@ class BenchReporter {
  private:
   std::string suite_;
   std::vector<BenchRow> rows_;
+  obs::Telemetry telemetry_;
 };
+
+// Renders one Histogram as the JSON object used by the "histograms"
+// section (count/sum/min/max/mean/p50/p90/p99 + trimmed bucket array).
+std::string HistogramJson(const obs::Histogram& h);
 
 // Shared flag plumbing for the bench mains: --threads=N fans sweeps out
 // over a worker pool, --json=PATH writes the suite document, --quick
-// shrinks grids for CI smoke runs.
+// shrinks grids for CI smoke runs, --trace=PATH asks the suite to write
+// a Perfetto trace of one representative run (suites that support it
+// check trace_path()), --telemetry folds histograms into the JSON.
 class BenchEnv {
  public:
   // Parses flags; on --help prints the help text and exits 0.
@@ -99,6 +123,8 @@ class BenchEnv {
 
   std::uint32_t threads() const { return threads_; }
   bool quick() const { return quick_; }
+  const std::string& trace_path() const { return trace_path_; }
+  bool telemetry() const { return telemetry_; }
   SweepOptions sweep() const { return SweepOptions{threads_}; }
   BenchReporter& reporter() { return reporter_; }
 
@@ -109,8 +135,10 @@ class BenchEnv {
  private:
   BenchReporter reporter_;
   std::string json_path_;
+  std::string trace_path_;
   std::uint32_t threads_ = 1;
   bool quick_ = false;
+  bool telemetry_ = false;
 };
 
 }  // namespace celect::harness

@@ -84,6 +84,7 @@ ChaosCaseResult RunChaosCase(const sim::ProcessFactory& factory,
 
   sim::RuntimeOptions rt;
   rt.max_events = opt.max_events;
+  rt.enable_telemetry = opt.enable_telemetry;
   if (opt.check_invariants) rt.observer = &registry;
   sim::Runtime runtime(BuildNetwork(ro), factory, rt);
   out.result = runtime.Run();
@@ -130,6 +131,7 @@ ChaosSweepResult SweepChaos(const sim::ProcessFactory& factory,
     sweep.time.Add(c.result.leader_time.ToDouble());
     sweep.wall_ns += c.result.wall_ns;
     sweep.events_processed += c.result.events_processed;
+    sweep.telemetry.Merge(c.result.telemetry);
     if (!c.violation.empty()) sweep.violations.push_back(std::move(c));
   }
   return sweep;
@@ -197,6 +199,12 @@ std::uint64_t FingerprintResult(const sim::RunResult& r) {
   for (const auto& [name, value] : r.counters) {
     for (char c : name) h = HashCombine(h, static_cast<unsigned char>(c));
     h = HashCombine(h, static_cast<std::uint64_t>(value));
+  }
+  for (const auto& [key, agg] : r.phases) {
+    for (char c : key) h = HashCombine(h, static_cast<unsigned char>(c));
+    h = HashCombine(h, agg.spans);
+    h = HashCombine(h, static_cast<std::uint64_t>(agg.ticks));
+    h = HashCombine(h, agg.messages);
   }
   return h;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "celect/harness/experiment.h"
+#include "celect/obs/telemetry.h"
 #include "celect/sim/fault.h"
 #include "celect/util/stats.h"
 
@@ -57,6 +58,9 @@ struct ChaosOptions {
   // reduces them in seed order, so totals and the violation list are
   // identical for any thread count.
   std::uint32_t threads = 1;
+  // Collect per-run obs::Telemetry (latency/queue-depth/capture-width
+  // histograms); SweepChaos merges them in seed order.
+  bool enable_telemetry = false;
 };
 
 // Derives the run's fault plan from the seed: distinct crash victims with
@@ -93,6 +97,9 @@ struct ChaosSweepResult {
   // Host-side cost of the whole sweep (non-deterministic).
   std::uint64_t wall_ns = 0;
   std::uint64_t events_processed = 0;
+  // Per-case telemetry merged in seed order (Empty() unless
+  // ChaosOptions::enable_telemetry).
+  obs::Telemetry telemetry;
   // Only the violating cases are kept (each carries its repro seed).
   std::vector<ChaosCaseResult> violations;
 };

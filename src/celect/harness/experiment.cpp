@@ -146,14 +146,36 @@ sim::NetworkConfig BuildNetwork(const RunOptions& options) {
   return config;
 }
 
-sim::RunResult RunElection(const sim::ProcessFactory& factory,
-                           const RunOptions& options) {
+namespace {
+
+sim::RuntimeOptions RuntimeOptionsFor(const RunOptions& options) {
   sim::RuntimeOptions rt;
   rt.max_events = options.max_events;
   rt.enable_trace = options.enable_trace;
+  rt.trace_cap = options.trace_cap;
+  rt.enable_telemetry = options.enable_telemetry;
   rt.serialize_packets = options.serialize_packets;
-  sim::Runtime runtime(BuildNetwork(options), factory, rt);
+  return rt;
+}
+
+}  // namespace
+
+sim::RunResult RunElection(const sim::ProcessFactory& factory,
+                           const RunOptions& options) {
+  sim::Runtime runtime(BuildNetwork(options), factory,
+                       RuntimeOptionsFor(options));
   return runtime.Run();
+}
+
+TracedRun RunElectionTraced(const sim::ProcessFactory& factory,
+                            const RunOptions& options) {
+  sim::RuntimeOptions rt = RuntimeOptionsFor(options);
+  rt.enable_trace = true;
+  sim::Runtime runtime(BuildNetwork(options), factory, rt);
+  TracedRun out;
+  out.result = runtime.Run();
+  out.records = runtime.trace().records();
+  return out;
 }
 
 std::string Describe(const RunOptions& o) {

@@ -46,6 +46,11 @@ struct RunOptions {
   std::uint32_t adversary_k = 4;     // kUpAdversary radius
   bool serialize_packets = false;
   bool enable_trace = false;
+  // Trace record cap (RuntimeOptions::trace_cap); truncation surfaces as
+  // counters["sim.trace_truncated"].
+  std::size_t trace_cap = 10'000'000;
+  // Streaming histograms + samplers (RunResult::telemetry).
+  bool enable_telemetry = false;
   std::uint64_t max_events = 500'000'000;
   // Mid-run fault schedule (crashes + lossy links); empty = fault-free.
   sim::FaultPlan fault_plan;
@@ -55,6 +60,17 @@ struct RunOptions {
 // from the caller) and runs it to quiescence.
 sim::RunResult RunElection(const sim::ProcessFactory& factory,
                            const RunOptions& options);
+
+// Like RunElection, but forces tracing on and hands back the trace
+// records alongside the result (RunResult does not carry them — the
+// buffer lives in the Runtime). Feed the records to
+// obs::ExportChromeTrace / obs::SerializeRecords.
+struct TracedRun {
+  sim::RunResult result;
+  std::vector<sim::TraceRecord> records;
+};
+TracedRun RunElectionTraced(const sim::ProcessFactory& factory,
+                            const RunOptions& options);
 
 // Builds just the NetworkConfig (for callers that need the Runtime).
 sim::NetworkConfig BuildNetwork(const RunOptions& options);

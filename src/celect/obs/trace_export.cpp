@@ -1,0 +1,195 @@
+#include "celect/obs/trace_export.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "celect/obs/phase.h"
+#include "celect/util/logging.h"
+
+namespace celect::obs {
+
+namespace {
+
+using sim::TraceRecord;
+
+// Minimal JSON string escaping — names here are generated from enums and
+// integers, but the process label is caller-supplied.
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// The shared prefix of every event: name, phase letter, pid/tid/ts.
+void Open(std::ostringstream& os, const std::string& name, char ph,
+          sim::NodeId node, std::int64_t ts) {
+  os << "{\"name\": " << Quoted(name) << ", \"ph\": \"" << ph
+     << "\", \"pid\": 1, \"tid\": " << node << ", \"ts\": " << ts;
+}
+
+void Args(std::ostringstream& os, const TraceRecord& r) {
+  os << ", \"args\": {\"seq\": " << r.seq << ", \"clock\": " << r.clock;
+  if (r.mid != 0) os << ", \"mid\": " << r.mid;
+  if (r.port != sim::kInvalidPort) os << ", \"port\": " << r.port;
+  if (r.kind == TraceRecord::Kind::kSend ||
+      r.kind == TraceRecord::Kind::kDeliver ||
+      r.kind == TraceRecord::Kind::kDrop ||
+      r.kind == TraceRecord::Kind::kLoss ||
+      r.kind == TraceRecord::Kind::kDuplicate) {
+    os << ", \"type\": " << r.type << ", \"peer\": " << r.peer;
+  }
+  if (r.phase != PhaseId::kNone) {
+    os << ", \"phase\": " << Quoted(PhaseKey(r.phase, r.phase_level));
+  }
+  os << "}";
+}
+
+// A zero-width slice a flow arrow can bind to (flow events attach to the
+// slice on the same track at the same timestamp).
+void Slice(std::ostringstream& os, const std::string& name,
+           const TraceRecord& r) {
+  Open(os, name, 'X', r.node, r.at.ticks());
+  os << ", \"dur\": 0";
+  Args(os, r);
+  os << "},\n";
+}
+
+void Flow(std::ostringstream& os, char ph, const TraceRecord& r) {
+  Open(os, "msg", ph, r.node, r.at.ticks());
+  os << ", \"cat\": \"msg\", \"id\": " << r.mid;
+  if (ph == 'f') os << ", \"bp\": \"e\"";
+  os << "},\n";
+}
+
+void Instant(std::ostringstream& os, const std::string& name, char scope,
+             const TraceRecord& r) {
+  Open(os, name, 'i', r.node, r.at.ticks());
+  os << ", \"s\": \"" << scope << "\"";
+  Args(os, r);
+  os << "},\n";
+}
+
+std::string TypedName(const char* verb, std::uint16_t type) {
+  std::ostringstream os;
+  os << verb << " t" << type;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<sim::TraceRecord>& records,
+                              const TraceExportOptions& opts) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+  // Track metadata first: the process label, then one named, stably
+  // ordered track per node that appears in the trace.
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": "
+     << Quoted(opts.process_name) << "}},\n";
+  std::set<sim::NodeId> nodes;
+  for (const auto& r : records) nodes.insert(r.node);
+  for (sim::NodeId node : nodes) {
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << node << ", \"args\": {\"name\": \"node " << node << "\"}},\n";
+    os << "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << node << ", \"args\": {\"sort_index\": " << node << "}},\n";
+  }
+
+  for (const auto& r : records) {
+    switch (r.kind) {
+      case TraceRecord::Kind::kSend:
+        Slice(os, TypedName("send", r.type), r);
+        Flow(os, 's', r);
+        break;
+      case TraceRecord::Kind::kDeliver:
+        Slice(os, TypedName("recv", r.type), r);
+        Flow(os, 'f', r);
+        break;
+      case TraceRecord::Kind::kDrop:
+        // The arrow still terminates somewhere visible: at the swallow.
+        Slice(os, TypedName("drop", r.type), r);
+        if (r.mid != 0) Flow(os, 'f', r);
+        break;
+      case TraceRecord::Kind::kLoss:
+        Slice(os, TypedName("loss", r.type), r);
+        if (r.mid != 0) Flow(os, 'f', r);
+        break;
+      case TraceRecord::Kind::kDuplicate:
+        Instant(os, TypedName("dup", r.type), 't', r);
+        break;
+      case TraceRecord::Kind::kWakeup:
+        Instant(os, "wakeup", 't', r);
+        break;
+      case TraceRecord::Kind::kLeader:
+        Instant(os, "LEADER", 'g', r);
+        break;
+      case TraceRecord::Kind::kCrash:
+        Instant(os, "crash", 'p', r);
+        break;
+      case TraceRecord::Kind::kTimerSet:
+        Instant(os, "timer set", 't', r);
+        break;
+      case TraceRecord::Kind::kTimerFire:
+        Instant(os, "timer fire", 't', r);
+        break;
+      case TraceRecord::Kind::kTimerCancel:
+        Instant(os, "timer cancel", 't', r);
+        break;
+      case TraceRecord::Kind::kPhaseBegin:
+        Open(os, PhaseKey(r.phase, r.phase_level), 'B', r.node,
+             r.at.ticks());
+        Args(os, r);
+        os << "},\n";
+        break;
+      case TraceRecord::Kind::kPhaseEnd:
+        Open(os, PhaseKey(r.phase, r.phase_level), 'E', r.node,
+             r.at.ticks());
+        Args(os, r);
+        os << "},\n";
+        break;
+    }
+  }
+
+  // The trailing comma is legal in the trace-event format (the viewer
+  // tolerates it), but emit a closing sentinel anyway so the document is
+  // strict JSON for every other consumer.
+  os << "{\"name\": \"trace_end\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"records\": "
+     << records.size() << "}}\n]}\n";
+  return os.str();
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<sim::TraceRecord>& records,
+                      const TraceExportOptions& opts) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    CELECT_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << ExportChromeTrace(records, opts);
+  out.flush();
+  if (!out) {
+    CELECT_LOG(Error) << "short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace celect::obs

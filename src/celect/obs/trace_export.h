@@ -1,0 +1,38 @@
+// Chrome trace-event / Perfetto JSON export of a simulation trace.
+//
+// The exported document loads directly in ui.perfetto.dev (and
+// chrome://tracing): every node is a track, phase spans are duration
+// slices ("B"/"E"), each send/receive is a zero-width slice carrying a
+// flow arrow ("s"/"f" keyed by the message uid) so a message can be
+// followed from sender to receiver — or to the loss/drop instant that
+// swallowed it — and crashes, wakeups, leader declarations and timer
+// activity are instants.
+//
+// Timestamps are raw simulation ticks (2^20 per time unit) written as
+// integers, never floats or host clocks, so the document is a pure
+// function of the event schedule: same seed, byte-identical bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "celect/sim/trace.h"
+
+namespace celect::obs {
+
+struct TraceExportOptions {
+  // Perfetto process label, e.g. "protocol C n=16 seed=1".
+  std::string process_name = "celect";
+};
+
+// Renders the records as a complete JSON document (one event per line —
+// stable bytes, diffable).
+std::string ExportChromeTrace(const std::vector<sim::TraceRecord>& records,
+                              const TraceExportOptions& opts = {});
+
+// ExportChromeTrace to a file; false (with a log line) on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<sim::TraceRecord>& records,
+                      const TraceExportOptions& opts = {});
+
+}  // namespace celect::obs

@@ -77,6 +77,7 @@ class EfgNode : public ElectionProcess {
       StartFirstPhase(ctx);
     } else {
       role_ = Role::kWalking;
+      ctx.BeginPhase(obs::PhaseId::kCapture1);
       FillWindow(ctx);
     }
   }
@@ -256,8 +257,18 @@ class EfgNode : public ElectionProcess {
   // A candidate leaving the race. If it had started locking a confirm
   // quorum (FT), the locks must be released or rivals deadlock. Declared
   // leaders never die (and never release their quorum).
+  // At most one protocol span is open at a time (plus a recovery span a
+  // timer handler may have stacked on top); close whatever is.
+  void ClosePhaseSpans(Context& ctx) {
+    ctx.EndPhase(obs::PhaseId::kRecovery);
+    ctx.EndPhase(obs::PhaseId::kBroadcast);
+    ctx.EndPhase(obs::PhaseId::kCapture1);
+    ctx.EndPhase(obs::PhaseId::kWakeup);
+  }
+
   void Die(Context& ctx) {
     if (role_ == Role::kLeader) return;
+    ClosePhaseSpans(ctx);
     if (role_ != Role::kPassive) role_ = Role::kDead;
     if (confirming_) {
       confirming_ = false;
@@ -357,6 +368,7 @@ class EfgNode : public ElectionProcess {
       StartBroadcast(ctx);
     } else {
       role_ = Role::kLeader;
+      ctx.EndPhase(obs::PhaseId::kCapture1);
       ctx.DeclareLeader();
     }
   }
@@ -575,6 +587,11 @@ class EfgNode : public ElectionProcess {
   void StartBroadcast(Context& ctx) {
     if (role_ == Role::kBroadcasting || role_ == Role::kLeader) return;
     role_ = Role::kBroadcasting;
+    // A recovery handler may start the broadcast; its span ends at the
+    // decision so the broadcast span is not nested under (and truncated
+    // with) it.
+    ClosePhaseSpans(ctx);
+    ctx.BeginPhase(obs::PhaseId::kBroadcast);
     ctx.AddCounter(kCounterBroadcasters, 1);
     if (Ft() && bc_timer_ == sim::kInvalidTimer) {
       bc_timer_ = ctx.SetTimer(kRecoveryPeriod);
@@ -627,6 +644,7 @@ class EfgNode : public ElectionProcess {
     if (elect_ports_.size() < elect_quorum_) return;
     if (params_.f == 0) {
       role_ = Role::kLeader;
+      ctx.EndPhase(obs::PhaseId::kBroadcast);
       ctx.DeclareLeader();
       return;
     }
@@ -679,6 +697,7 @@ class EfgNode : public ElectionProcess {
     if (confirm_ports_.size() >= elect_quorum_) {
       role_ = Role::kLeader;
       CancelIf(ctx, bc_timer_);
+      ctx.EndPhase(obs::PhaseId::kBroadcast);
       ctx.DeclareLeader();
       // Final release: the election is decided. Locked nodes stand down
       // their lease probes and surviving rivals abandon their candidacy;
@@ -725,6 +744,14 @@ class EfgNode : public ElectionProcess {
   //     pings its owner; condemnation settles the contest locally.
 
   void OnTimerFired(Context& ctx, sim::TimerId timer) override {
+    // Recovery actions span the handler; a transition inside (revive,
+    // broadcast) closes the span early at the moment of the decision.
+    ctx.BeginPhase(obs::PhaseId::kRecovery);
+    DispatchTimer(ctx, timer);
+    ctx.EndPhase(obs::PhaseId::kRecovery);
+  }
+
+  void DispatchTimer(Context& ctx, sim::TimerId timer) {
     if (timer == cap_timer_) {
       cap_timer_ = sim::kInvalidTimer;
       OnCaptureWatchdog(ctx);
@@ -1026,6 +1053,10 @@ class EfgNode : public ElectionProcess {
     walk_cursor_ = 1;
     role_ = Role::kWalking;
     reached_second_ = true;
+    // A revival decided inside a recovery handler ends that span; the
+    // re-entered race opens a fresh capture span.
+    ctx.EndPhase(obs::PhaseId::kRecovery);
+    ctx.BeginPhase(obs::PhaseId::kCapture1);
     FillWindow(ctx);  // falls back to a true-level broadcast if every
                       // remaining port is crashed (see FillWindow)
   }
@@ -1034,6 +1065,7 @@ class EfgNode : public ElectionProcess {
 
   void StartFirstPhase(Context& ctx) {
     role_ = Role::kFirstPhase;
+    ctx.BeginPhase(obs::PhaseId::kWakeup);
     fp_sent_ = std::min<std::uint32_t>(params_.k + params_.f, n_ - 1);
     fp_threshold_ = fp_sent_ > params_.f ? fp_sent_ - params_.f : 1;
     for (std::uint32_t i = 0; i < fp_sent_; ++i) {
@@ -1078,6 +1110,8 @@ class EfgNode : public ElectionProcess {
     // Second phase: level := first-phase accepts; capture every node
     // that answered proceed, in parallel.
     role_ = Role::kSecondPhase;
+    ctx.EndPhase(obs::PhaseId::kWakeup);
+    ctx.BeginPhase(obs::PhaseId::kCapture1);
     reached_second_ = true;
     level_ = fp_accepts_;
     sp_pending_ = static_cast<std::uint32_t>(fp_proceed_ports_.size());

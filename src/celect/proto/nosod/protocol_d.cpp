@@ -21,6 +21,9 @@ class ProtocolDNode : public ElectionProcess {
 
  protected:
   void OnSpontaneousWakeup(Context& ctx) override {
+    // The whole candidacy is one broadcast round: N-1 elects out,
+    // collect accepts until a verdict.
+    ctx.BeginPhase(obs::PhaseId::kBroadcast);
     ctx.SendAll(Packet{kDElect, {id_}});
   }
 
@@ -31,13 +34,17 @@ class ProtocolDNode : public ElectionProcess {
         // Silence is the contest: only a base node with a larger
         // identity withholds its accept.
         if (!(is_base() && id_ > p.field(0))) {
-          if (is_base()) lost_ = true;  // a larger base is in the race
+          if (is_base() && !lost_) {
+            lost_ = true;  // a larger base is in the race
+            ctx.EndPhase(obs::PhaseId::kBroadcast);
+          }
           ctx.Send(from_port, Packet{kDAccept, {}});
         }
         break;
       case kDAccept:
         if (is_base() && ++accepts_ == n_ - 1) {
           declared_ = true;
+          ctx.EndPhase(obs::PhaseId::kBroadcast);
           ctx.DeclareLeader();
         }
         break;

@@ -43,6 +43,7 @@ class ProtocolANode : public ElectionProcess {
   void OnSpontaneousWakeup(Context& ctx) override {
     if (awaken_neighbors_) SendAwakens(ctx);
     phase_ = Phase::kCapturing;
+    ctx.BeginPhase(obs::PhaseId::kCapture1);
     SendNextCapture(ctx);
   }
 
@@ -57,7 +58,10 @@ class ProtocolANode : public ElectionProcess {
         HandleAccept(ctx, p.field(0));
         break;
       case kAReject:
-        if (phase_ == Phase::kCapturing) dead_ = true;
+        if (phase_ == Phase::kCapturing) {
+          dead_ = true;
+          CloseSpans(ctx);
+        }
         break;
       case kAOwner:
         SetOwner(from_port, p.field(0));
@@ -73,7 +77,10 @@ class ProtocolANode : public ElectionProcess {
         HandleElectAccept(ctx);
         break;
       case kAElectReject:
-        if (phase_ == Phase::kElectRound) dead_ = true;
+        if (phase_ == Phase::kElectRound) {
+          dead_ = true;
+          CloseSpans(ctx);
+        }
         break;
       case kAFwdElect:
         HandleFwdElect(ctx, from_port, p.field(0), p.field(1));
@@ -107,6 +114,13 @@ class ProtocolANode : public ElectionProcess {
   enum class Phase { kIdle, kCapturing, kOwnerRound, kElectRound, kDone };
 
   Credential Cred() const { return Credential{level_, id_}; }
+
+  // A contest can end this candidate in any phase (capture, owner round,
+  // elect round); close whatever span is open.
+  void CloseSpans(Context& ctx) {
+    ctx.EndPhase(obs::PhaseId::kCapture2);
+    ctx.EndPhase(obs::PhaseId::kCapture1);
+  }
 
   // A node is a live authority while it is an uncaptured, unkilled base
   // node that has started contesting.
@@ -145,6 +159,7 @@ class ProtocolANode : public ElectionProcess {
     // Uncaptured base node (alive or killed): contest on (level, id).
     if (Cred() < Credential{sender_level, sender}) {
       captured_ = true;
+      CloseSpans(ctx);
       SetOwner(from_port, sender);
       ctx.AddCounter(kCounterCaptures, 1);
       ctx.Send(from_port, Packet{kAAccept, {level_}});
@@ -166,6 +181,8 @@ class ProtocolANode : public ElectionProcess {
 
   void EnterOwnerRound(Context& ctx) {
     phase_ = Phase::kOwnerRound;
+    ctx.EndPhase(obs::PhaseId::kCapture1);
+    ctx.BeginPhase(obs::PhaseId::kCapture2);
     ctx.AddCounter(kCounterPhase2, 1);
     pending_acks_ = k_;
     for (Port d = 1; d <= k_; ++d) {
@@ -200,6 +217,7 @@ class ProtocolANode : public ElectionProcess {
         ctx.Send(from_port, Packet{kAElectReject, {}});
       } else {
         captured_ = true;  // killed by a stronger candidate
+        CloseSpans(ctx);
         SetOwner(from_port, cand);
         ctx.Send(from_port, Packet{kAElectAccept, {}});
       }
@@ -232,6 +250,7 @@ class ProtocolANode : public ElectionProcess {
         return;
       }
       dead_ = true;  // the candidate killed us
+      CloseSpans(ctx);
     }
     ctx.Send(from_port, Packet{kAFwdAccept, {}});
   }
@@ -260,6 +279,7 @@ class ProtocolANode : public ElectionProcess {
   void Declare(Context& ctx) {
     phase_ = Phase::kDone;
     declared_ = true;
+    CloseSpans(ctx);
     ctx.DeclareLeader();
   }
 

@@ -40,6 +40,7 @@ class ProtocolBNode : public ElectionProcess {
         break;
       case kBReject:
         dead_ = true;
+        ctx.EndPhase(obs::PhaseId::kDoubling);
         break;
       default:
         CELECT_CHECK(false) << "protocol B: unknown message type "
@@ -66,6 +67,7 @@ class ProtocolBNode : public ElectionProcess {
 
   // Step l captures the 2^(l-1) nodes at odd multiples of N/2^l.
   void SendStep(Context& ctx) {
+    ctx.BeginPhase(obs::PhaseId::kDoubling, step_);
     const std::uint32_t gap = n_ >> step_;  // N / 2^step
     pending_ = 0;
     for (std::uint32_t m = 1; m * gap < n_; m += 2) {
@@ -84,6 +86,7 @@ class ProtocolBNode : public ElectionProcess {
     }
     if (Cred() < Credential{sender_step, sender}) {
       captured_ = true;
+      ctx.EndPhase(obs::PhaseId::kDoubling);
       ctx.Send(from_port, Packet{kBAccept, {}});
     } else {
       ctx.Send(from_port, Packet{kBReject, {}});
@@ -93,6 +96,7 @@ class ProtocolBNode : public ElectionProcess {
   void HandleAccept(Context& ctx) {
     if (!Live()) return;
     if (--pending_ > 0) return;
+    ctx.EndPhase(obs::PhaseId::kDoubling);
     if (static_cast<std::uint32_t>(step_) == rounds_) {
       declared_ = true;
       ctx.DeclareLeader();

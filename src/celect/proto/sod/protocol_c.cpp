@@ -30,6 +30,7 @@ class ProtocolCNode : public ElectionProcess {
  protected:
   void OnSpontaneousWakeup(Context& ctx) override {
     phase_ = Phase::kClassWalk;
+    ctx.BeginPhase(obs::PhaseId::kCapture1);
     SendNextCapture(ctx);
   }
 
@@ -43,7 +44,10 @@ class ProtocolCNode : public ElectionProcess {
         HandleCaptAccept(ctx, p.field(0));
         break;
       case kCCaptReject:
-        if (phase_ == Phase::kClassWalk) dead_ = true;
+        if (phase_ == Phase::kClassWalk) {
+          dead_ = true;
+          CloseSpans(ctx);
+        }
         break;
       case kCOwner:
         SetOwner(from_port, p.field(0));
@@ -59,7 +63,10 @@ class ProtocolCNode : public ElectionProcess {
         HandleElectAccept(ctx);
         break;
       case kCElectReject:
-        if (phase_ == Phase::kDoubling) dead_ = true;
+        if (phase_ == Phase::kDoubling) {
+          dead_ = true;
+          CloseSpans(ctx);
+        }
         break;
       case kCFwd:
         HandleFwd(ctx, from_port, p.field(0), p.field(1));
@@ -95,6 +102,13 @@ class ProtocolCNode : public ElectionProcess {
     return is_base() && !captured_ && !dead_ && phase_ != Phase::kIdle;
   }
 
+  // A candidate can be killed in any phase; close whichever span is open.
+  void CloseSpans(Context& ctx) {
+    ctx.EndPhase(obs::PhaseId::kDoubling);
+    ctx.EndPhase(obs::PhaseId::kCapture2);
+    ctx.EndPhase(obs::PhaseId::kCapture1);
+  }
+
   void SetOwner(Port port, Id owner) {
     has_owner_ = true;
     owner_port_ = port;
@@ -119,6 +133,7 @@ class ProtocolCNode : public ElectionProcess {
     }
     if (Credential{level_, id_} < Credential{sender_level, sender}) {
       captured_ = true;
+      CloseSpans(ctx);
       SetOwner(from_port, sender);
       // Surrender: the winner extends its captures by ours (level_ class
       // mates forward of us).
@@ -142,6 +157,8 @@ class ProtocolCNode : public ElectionProcess {
 
   void EnterOwnerRound(Context& ctx) {
     phase_ = Phase::kOwnerRound;
+    ctx.EndPhase(obs::PhaseId::kCapture1);
+    ctx.BeginPhase(obs::PhaseId::kCapture2);
     ctx.AddCounter(kCounterClassWinners, 1);
     pending_ = class_size_ - 1;
     for (std::uint64_t d = k_; d + k_ <= n_; d += k_) {
@@ -154,12 +171,14 @@ class ProtocolCNode : public ElectionProcess {
     if (--pending_ > 0) return;
     step_ = 1;
     phase_ = Phase::kDoubling;
+    ctx.EndPhase(obs::PhaseId::kCapture2);
     SendDoublingStep(ctx);
   }
 
   // ---- Phase 2b: doubling over i[1..k-1] -----------------------------
 
   void SendDoublingStep(Context& ctx) {
+    ctx.BeginPhase(obs::PhaseId::kDoubling, step_);
     const std::uint32_t gap = k_ >> step_;  // k / 2^step
     CELECT_DCHECK(gap >= 1);
     pending_ = 0;
@@ -180,6 +199,7 @@ class ProtocolCNode : public ElectionProcess {
         ctx.Send(from_port, Packet{kCElectReject, {}});
       } else {
         captured_ = true;
+        CloseSpans(ctx);
         SetOwner(from_port, cand);
         ctx.Send(from_port, Packet{kCElectAccept, {}});
       }
@@ -209,6 +229,7 @@ class ProtocolCNode : public ElectionProcess {
         return;
       }
       dead_ = true;  // killed through one of our captured nodes
+      CloseSpans(ctx);
     }
     ctx.Send(from_port, Packet{kCFwdAccept, {}});
   }
@@ -231,6 +252,7 @@ class ProtocolCNode : public ElectionProcess {
   void HandleElectAccept(Context& ctx) {
     if (captured_ || dead_ || phase_ != Phase::kDoubling) return;
     if (--pending_ > 0) return;
+    ctx.EndPhase(obs::PhaseId::kDoubling);
     if (static_cast<std::uint32_t>(step_) == doubling_rounds_) {
       phase_ = Phase::kDone;
       declared_ = true;

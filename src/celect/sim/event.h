@@ -16,10 +16,22 @@ struct WakeupEvent {
 };
 
 // A packet arriving at `to` on local port `arrival_port`.
+//
+// The causal metadata is stamped by the runtime at send time and kept
+// to three 32-bit words (packed into the hole before `packet`) so the
+// variant — and with it every element the event heap moves — stays
+// small: the message uid (shared by an injected duplicate — it is the
+// same message), the sender's Lamport clock, and the link latency in
+// ticks (saturated at 2^32−1; telemetry only). 32 bits suffice: uids
+// and clocks count events within one run, and a run with 2^32 messages
+// is far beyond anything the queue could hold.
 struct DeliveryEvent {
   NodeId from;
   NodeId to;
   Port arrival_port;
+  std::uint32_t mid = 0;
+  std::uint32_t send_clock = 0;
+  std::uint32_t latency_ticks = 0;
   wire::Packet packet;
 };
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "celect/obs/phase.h"
 #include "celect/sim/time.h"
 #include "celect/sim/types.h"
 #include "celect/wire/packet.h"
@@ -73,6 +74,20 @@ class Context {
   virtual void AddCounter(std::string_view name, std::int64_t delta) = 0;
   // Keeps the running max of a protocol-specific gauge.
   virtual void MaxCounter(std::string_view name, std::int64_t value) = 0;
+
+  // Marks the start/end of a protocol phase span (obs/phase.h taxonomy;
+  // `level` distinguishes doubling levels). Spans nest; EndPhase closes
+  // the innermost open span of the given phase (and anything nested
+  // inside it), and is a no-op when none is open, so losing candidates
+  // can close defensively. Purely observational — the asynchronous
+  // runtime aggregates spans into RunResult::phases and the trace;
+  // scripted and synchronous contexts ignore them.
+  virtual void BeginPhase(obs::PhaseId phase, std::int64_t level) {
+    (void)phase;
+    (void)level;
+  }
+  void BeginPhase(obs::PhaseId phase) { BeginPhase(phase, 0); }
+  virtual void EndPhase(obs::PhaseId phase) { (void)phase; }
 
   std::uint32_t port_count() const { return n() - 1; }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iostream>
+#include <limits>
 #include <string>
 #include <unordered_map>
 
@@ -57,14 +59,22 @@ class Runtime::ContextImpl : public Context {
     return rt_.ScheduleTimer(node_, delay);
   }
 
-  void CancelTimer(TimerId timer) override { rt_.CancelTimer(timer); }
+  void CancelTimer(TimerId timer) override {
+    rt_.CancelTimer(node_, timer);
+  }
 
   void DeclareLeader() override {
     rt_.metrics_.RecordLeader(node_, id(), rt_.now_);
-    rt_.trace_.Record({TraceRecord::Kind::kLeader, rt_.now_, node_, node_,
-                       kInvalidPort, 0, 0});
+    rt_.TraceEvent(TraceRecord::Kind::kLeader, node_, node_, kInvalidPort,
+                   0, 0);
     if (rt_.options_.stop_on_leader) rt_.stop_requested_ = true;
   }
+
+  void BeginPhase(obs::PhaseId phase, std::int64_t level) override {
+    rt_.BeginPhase(node_, phase, level);
+  }
+
+  void EndPhase(obs::PhaseId phase) override { rt_.EndPhase(node_, phase); }
 
   void AddCounter(std::string_view name, std::int64_t delta) override {
     rt_.metrics_.AddCounter(std::string(name), delta);
@@ -84,7 +94,7 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
     : config_(std::move(config)),
       options_(options),
       links_(config_.n),
-      trace_(options.enable_trace) {
+      trace_(options.enable_trace, options.trace_cap) {
   CELECT_CHECK(config_.n >= 2);
   CELECT_CHECK(config_.mapper && config_.delays);
   ids_ = config_.identities.empty() ? IdentitiesAscending(config_.n)
@@ -98,6 +108,12 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
   failed_ = config_.failed.empty() ? std::vector<bool>(config_.n, false)
                                    : config_.failed;
   CELECT_CHECK(failed_.size() == config_.n);
+  lamport_.assign(config_.n, 0);
+  phase_stack_.resize(config_.n);
+  if (options_.enable_telemetry) {
+    telemetry_ = std::make_unique<obs::Telemetry>();
+    pending_deliveries_.assign(config_.n, 0);
+  }
   if (!config_.faults.Empty()) {
     ValidateFaultPlan(config_.faults, config_.n);
     injector_ = std::make_unique<FaultInjector>(config_.faults, config_.n);
@@ -128,21 +144,76 @@ TimerId Runtime::ScheduleTimer(NodeId node, Time delay) {
   active_timers_.insert(id);
   queue_.Push(now_ + delay, TimerEvent{node, id});
   metrics_.RecordTimerSet();
-  trace_.Record({TraceRecord::Kind::kTimerSet, now_, node, node,
-                 kInvalidPort, 0, id});
+  TraceEvent(TraceRecord::Kind::kTimerSet, node, node, kInvalidPort, 0, id);
   return id;
 }
 
-void Runtime::CancelTimer(TimerId timer) {
-  if (active_timers_.erase(timer) > 0) metrics_.RecordTimerCancelled();
+void Runtime::CancelTimer(NodeId node, TimerId timer) {
+  if (active_timers_.erase(timer) == 0) return;  // fired or cancelled
+  metrics_.RecordTimerCancelled();
+  TraceEvent(TraceRecord::Kind::kTimerCancel, node, node, kInvalidPort, 0,
+             timer);
 }
 
 void Runtime::MarkCrashed(NodeId node) {
   if (failed_[node]) return;  // already dead; triggers fire at most once
   failed_[node] = true;
   metrics_.RecordCrash();
-  trace_.Record({TraceRecord::Kind::kCrash, now_, node, node, kInvalidPort,
-                 0, 0});
+  TraceEvent(TraceRecord::Kind::kCrash, node, node, kInvalidPort, 0, 0);
+  // A dead node's spans end at its death, not at quiescence.
+  while (!phase_stack_[node].empty()) CloseTopPhase(node);
+}
+
+void Runtime::TraceEvent(TraceRecord::Kind kind, NodeId node, NodeId peer,
+                         Port port, std::uint16_t type, std::uint64_t mid) {
+  if (!trace_.enabled()) return;
+  TraceRecord r{kind, now_, node, peer, port, type, 0};
+  r.clock = lamport_[node];
+  r.mid = mid;
+  if (!phase_stack_[node].empty()) {
+    const PhaseFrame& top = phase_stack_[node].back();
+    r.phase = top.id;
+    r.phase_level = top.level;
+  }
+  trace_.Record(r);
+}
+
+void Runtime::BeginPhase(NodeId node, obs::PhaseId phase,
+                         std::int64_t level) {
+  if (phase == obs::PhaseId::kNone) return;
+  obs::PhaseAgg& agg =
+      phase_agg_[{static_cast<std::uint16_t>(phase), level}];
+  phase_stack_[node].push_back(
+      PhaseFrame{phase, level, now_, 0, &agg});
+  // After the push the new span is top-of-stack, so TraceEvent stamps
+  // the record with the span being opened.
+  TraceEvent(TraceRecord::Kind::kPhaseBegin, node, node, kInvalidPort, 0,
+             0);
+}
+
+void Runtime::EndPhase(NodeId node, obs::PhaseId phase) {
+  auto& stack = phase_stack_[node];
+  std::size_t keep = stack.size();
+  while (keep > 0 && stack[keep - 1].id != phase) --keep;
+  if (keep == 0) return;  // no open span of this phase: defensive no-op
+  // Close the matching span and anything still nested inside it.
+  while (stack.size() >= keep) CloseTopPhase(node);
+}
+
+void Runtime::CloseTopPhase(NodeId node) {
+  auto& stack = phase_stack_[node];
+  if (stack.empty()) return;
+  // Record while the frame is still top-of-stack so the kPhaseEnd record
+  // carries the span's own phase.
+  TraceEvent(TraceRecord::Kind::kPhaseEnd, node, node, kInvalidPort, 0, 0);
+  const PhaseFrame f = stack.back();
+  stack.pop_back();
+  f.agg->spans += 1;
+  f.agg->ticks += (now_ - f.since).ticks();
+  if (telemetry_ && (f.id == obs::PhaseId::kCapture1 ||
+                     f.id == obs::PhaseId::kCapture2)) {
+    telemetry_->capture_width.Add(f.messages);
+  }
 }
 
 void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
@@ -168,8 +239,17 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
     bytes = wire::EncodedSize(packet);
   }
   metrics_.RecordSend(packet.type, bytes);
-  trace_.Record({TraceRecord::Kind::kSend, now_, from, to, port,
-                 packet.type, 0});
+  // Every send is a local Lamport event and mints a fresh message uid;
+  // the kDeliver/kDrop/kLoss/kDuplicate outcomes all carry the same uid,
+  // which is what makes trace flows pair exactly.
+  ++lamport_[from];
+  const std::uint64_t mid = ++next_mid_;
+  TraceEvent(TraceRecord::Kind::kSend, from, to, port, packet.type, mid);
+  if (!phase_stack_[from].empty()) {
+    PhaseFrame& top = phase_stack_[from].back();
+    ++top.messages;
+    ++top.agg->messages;
+  }
 
   // A send-count crash trigger fires *after* this send completes: the
   // message still goes out, later sends in the same handler do not.
@@ -177,8 +257,8 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
 
   if (failed_[to]) {
     metrics_.RecordDrop(DropCause::kCrashedDestination);
-    trace_.Record({TraceRecord::Kind::kDrop, now_, to, from, kInvalidPort,
-                   packet.type, 0});
+    TraceEvent(TraceRecord::Kind::kDrop, to, from, kInvalidPort,
+               packet.type, mid);
   } else {
     const MessageInfo info{from, to, now_, links_.SentCount(from, to),
                            &packet};
@@ -186,22 +266,33 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
     Admission adm = links_.AdmitWithFaults(from, to, now_, d);
     if (adm.lost) {
       metrics_.RecordDrop(DropCause::kInjectedLoss);
-      trace_.Record({TraceRecord::Kind::kLoss, now_, to, from,
-                     kInvalidPort, packet.type, 0});
+      TraceEvent(TraceRecord::Kind::kLoss, to, from, kInvalidPort,
+                 packet.type, mid);
     } else {
       if (adm.reordered) metrics_.RecordReorder();
       Port arrival_port = mapper.PortToward(to, from);
+      const auto mid32 = static_cast<std::uint32_t>(mid);
+      const auto send_clock = static_cast<std::uint32_t>(lamport_[from]);
+      auto latency = [&](Time arrival) {
+        return static_cast<std::uint32_t>(std::min<std::int64_t>(
+            (arrival - now_).ticks(),
+            std::numeric_limits<std::uint32_t>::max()));
+      };
       if (adm.duplicate_arrival) {
         metrics_.RecordDuplicate();
-        trace_.Record({TraceRecord::Kind::kDuplicate, now_, to, from,
-                       kInvalidPort, packet.type, 0});
+        TraceEvent(TraceRecord::Kind::kDuplicate, to, from, kInvalidPort,
+                   packet.type, mid);
         queue_.Push(*adm.duplicate_arrival,
-                    DeliveryEvent{from, to, arrival_port, packet});
+                    DeliveryEvent{from, to, arrival_port, mid32, send_clock,
+                                  latency(*adm.duplicate_arrival), packet});
         ++deliveries_inflight_;
+        if (telemetry_) ++pending_deliveries_[to];
       }
-      queue_.Push(adm.arrival, DeliveryEvent{from, to, arrival_port,
-                                             std::move(packet)});
+      queue_.Push(adm.arrival,
+                  DeliveryEvent{from, to, arrival_port, mid32, send_clock,
+                                latency(adm.arrival), std::move(packet)});
       ++deliveries_inflight_;
+      if (telemetry_) ++pending_deliveries_[to];
     }
   }
   if (crash_sender) MarkCrashed(from);
@@ -216,8 +307,9 @@ void Runtime::Dispatch(const Event& e) {
     if (failed_[t->node]) return;  // timers die with their node
     now_ = std::max(now_, e.at);
     metrics_.RecordTimerFired();
-    trace_.Record({TraceRecord::Kind::kTimerFire, now_, t->node, t->node,
-                   kInvalidPort, 0, t->timer});
+    ++lamport_[t->node];
+    TraceEvent(TraceRecord::Kind::kTimerFire, t->node, t->node,
+               kInvalidPort, 0, t->timer);
     ContextImpl ctx(*this, t->node);
     processes_[t->node]->OnTimer(ctx, t->timer);
     return;
@@ -228,8 +320,9 @@ void Runtime::Dispatch(const Event& e) {
   now_ = std::max(now_, e.at);
   if (const auto* w = std::get_if<WakeupEvent>(&e.body)) {
     if (failed_[w->node]) return;  // crashed before its wakeup fired
-    trace_.Record({TraceRecord::Kind::kWakeup, now_, w->node, w->node,
-                   kInvalidPort, 0, 0});
+    ++lamport_[w->node];
+    TraceEvent(TraceRecord::Kind::kWakeup, w->node, w->node, kInvalidPort,
+               0, 0);
     ContextImpl ctx(*this, w->node);
     processes_[w->node]->OnWakeup(ctx);
   } else if (const auto* d = std::get_if<DeliveryEvent>(&e.body)) {
@@ -237,11 +330,15 @@ void Runtime::Dispatch(const Event& e) {
     // must stay exact even when the destination is gone.
     CELECT_DCHECK(deliveries_inflight_ > 0);
     --deliveries_inflight_;
+    if (telemetry_) {
+      CELECT_DCHECK(pending_deliveries_[d->to] > 0);
+      --pending_deliveries_[d->to];
+    }
     links_.NotifyDelivered(d->from, d->to);
     if (failed_[d->to]) {
       metrics_.RecordDrop(DropCause::kCrashedDestination);
-      trace_.Record({TraceRecord::Kind::kDrop, now_, d->to, d->from,
-                     d->arrival_port, d->packet.type, 0});
+      TraceEvent(TraceRecord::Kind::kDrop, d->to, d->from,
+                 d->arrival_port, d->packet.type, d->mid);
       return;
     }
     auto fate = injector_ ? injector_->NoteDelivery(d->to, d->packet.type)
@@ -250,14 +347,25 @@ void Runtime::Dispatch(const Event& e) {
       // Mid-handshake death: the node dies with the message unread.
       MarkCrashed(d->to);
       metrics_.RecordDrop(DropCause::kCrashedDestination);
-      trace_.Record({TraceRecord::Kind::kDrop, now_, d->to, d->from,
-                     d->arrival_port, d->packet.type, 0});
+      TraceEvent(TraceRecord::Kind::kDrop, d->to, d->from,
+                 d->arrival_port, d->packet.type, d->mid);
       return;
     }
     config_.mapper->MarkTraversed(d->to, d->arrival_port);
     metrics_.RecordDelivery();
-    trace_.Record({TraceRecord::Kind::kDeliver, now_, d->to, d->from,
-                   d->arrival_port, d->packet.type, 0});
+    // A processed delivery joins the sender's send-time clock: the
+    // Lamport rule max(local, sender) + 1. Unprocessed drops above do
+    // not advance the clock — only protocol-visible events do.
+    lamport_[d->to] =
+        std::max<std::uint64_t>(lamport_[d->to], d->send_clock) + 1;
+    TraceEvent(TraceRecord::Kind::kDeliver, d->to, d->from,
+               d->arrival_port, d->packet.type, d->mid);
+    if (telemetry_) {
+      telemetry_->latency.Add(d->latency_ticks);
+      telemetry_->queue_depth.Add(pending_deliveries_[d->to]);
+      telemetry_->inflight.Sample(
+          now_.ticks(), static_cast<std::int64_t>(deliveries_inflight_));
+    }
     ContextImpl ctx(*this, d->to);
     processes_[d->to]->OnMessage(ctx, d->arrival_port, d->packet);
     if (fate == FaultInjector::DeliveryFate::kCrashAfterProcessing) {
@@ -379,6 +487,12 @@ RunResult Runtime::Run() {
     RunInspect in = MakeInspect();
     options_.observer->AtQuiescence(in);
   }
+  // Spans still open at quiescence (protocols that never close their
+  // final phase) are closed here so every Begin has a matching End in
+  // the aggregates and the export.
+  for (NodeId node = 0; node < config_.n; ++node) {
+    while (!phase_stack_[node].empty()) CloseTopPhase(node);
+  }
   metrics_.RecordWallClock(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -423,6 +537,22 @@ RunResult Runtime::Run() {
   // tables and fingerprints surface them without schema changes.
   for (const auto& [kind, count] : metrics_.invariant_violations_by_kind()) {
     r.counters["invariant." + kind] = static_cast<std::int64_t>(count);
+  }
+  for (const auto& [key, agg] : phase_agg_) {
+    r.phases.emplace(
+        obs::PhaseKey(static_cast<obs::PhaseId>(key.first), key.second),
+        agg);
+  }
+  if (telemetry_) r.telemetry = *telemetry_;
+  if (trace_.truncated()) {
+    // A capped trace must be loud: the counter rides into harness tables
+    // and fingerprints, and the warning tells an interactive user that
+    // the exported trace is a prefix.
+    r.counters["sim.trace_truncated"] =
+        static_cast<std::int64_t>(trace_.dropped());
+    std::cerr << "[celect] warning: trace truncated — " << trace_.dropped()
+              << " records past the cap of " << options_.trace_cap
+              << " were dropped; raise RuntimeOptions::trace_cap\n";
   }
   return r;
 }

@@ -14,10 +14,15 @@
 // are swallowed and accounted as drops.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "celect/obs/phase.h"
+#include "celect/obs/telemetry.h"
 #include "celect/sim/event_queue.h"
 #include "celect/sim/fault.h"
 #include "celect/sim/hooks.h"
@@ -33,6 +38,13 @@ struct RuntimeOptions {
   // Hard event budget; exceeding it aborts the run (Run() CHECK-fails).
   std::uint64_t max_events = 500'000'000;
   bool enable_trace = false;
+  // Trace record cap; past it records are dropped, Trace::truncated()
+  // trips, and the run surfaces counters["sim.trace_truncated"].
+  std::size_t trace_cap = 10'000'000;
+  // Streaming histograms + time-series samplers (obs/telemetry.h):
+  // delivery latency, per-node queue depth, capture-span width, global
+  // in-flight series. Off by default — zero work on the hot path.
+  bool enable_telemetry = false;
   // When true, every packet is encoded and re-decoded through the wire
   // codec (full serialisation validation). Off by default: byte sizes
   // are still accounted via EncodedSize.
@@ -81,6 +93,13 @@ struct RunResult {
   bool aborted_by_controller = false;
   std::map<std::uint16_t, std::uint64_t> messages_by_type;
   std::map<std::string, std::int64_t> counters;
+  // Per-phase message/time table keyed by obs::PhaseKey ("capture1",
+  // "doubling.3", ...). Populated from Context::BeginPhase/EndPhase
+  // spans; empty for protocols that mark no phases. Spans still open at
+  // quiescence are closed there (their duration runs to quiesce_time).
+  std::map<std::string, obs::PhaseAgg> phases;
+  // Telemetry bundle; Empty() unless RuntimeOptions::enable_telemetry.
+  obs::Telemetry telemetry;
 };
 
 class Runtime {
@@ -122,8 +141,16 @@ class Runtime {
   void NotifyObserver(const Event& e);
   void SendFrom(NodeId from, Port port, wire::Packet packet);
   TimerId ScheduleTimer(NodeId node, Time delay);
-  void CancelTimer(TimerId timer);
+  void CancelTimer(NodeId node, TimerId timer);
   void MarkCrashed(NodeId node);
+  void BeginPhase(NodeId node, obs::PhaseId phase, std::int64_t level);
+  void EndPhase(NodeId node, obs::PhaseId phase);
+  // Closes one open span (aggregating its duration up to now_).
+  void CloseTopPhase(NodeId node);
+  // Records a trace event stamped with `node`'s Lamport clock and
+  // current (top-of-stack) phase. No-op when tracing is off.
+  void TraceEvent(TraceRecord::Kind kind, NodeId node, NodeId peer,
+                  Port port, std::uint16_t type, std::uint64_t mid);
 
   NetworkConfig config_;
   RuntimeOptions options_;
@@ -151,6 +178,33 @@ class Runtime {
   // TimerEvents are discarded at dispatch.
   std::unordered_set<TimerId> active_timers_;
   TimerId next_timer_ = kInvalidTimer;
+
+  // --- Observability (obs/) ------------------------------------------
+  // Per-node Lamport clocks: ticked on send/wakeup/timer-fire; a
+  // delivery joins the sender's send-time clock with max(...) + 1.
+  // Always on — two array ops per event, and determinism means traces
+  // can be correlated with untraced runs of the same seed.
+  std::vector<std::uint64_t> lamport_;
+  // Message uids, 1-based; stamped on every send (duplicates share the
+  // original's uid) so trace flows pair exactly even under loss.
+  std::uint64_t next_mid_ = 0;
+  // Open phase spans per node (innermost last). `agg` points into
+  // phase_agg_ (std::map nodes are stable).
+  struct PhaseFrame {
+    obs::PhaseId id;
+    std::int64_t level;
+    Time since;
+    std::uint64_t messages;
+    obs::PhaseAgg* agg;
+  };
+  std::vector<std::vector<PhaseFrame>> phase_stack_;
+  std::map<std::pair<std::uint16_t, std::int64_t>, obs::PhaseAgg>
+      phase_agg_;
+  // Null unless options_.enable_telemetry.
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  // Pending (queued, undelivered) deliveries per destination — the
+  // queue-depth histogram's source. Maintained only with telemetry on.
+  std::vector<std::uint32_t> pending_deliveries_;
 };
 
 }  // namespace celect::sim

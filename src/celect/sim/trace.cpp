@@ -8,10 +8,43 @@ void Trace::Record(TraceRecord r) {
   if (!enabled_) return;
   if (records_.size() >= cap_) {
     truncated_ = true;
+    ++dropped_;
     return;
   }
   r.seq = next_seq_++;
   records_.push_back(r);
+}
+
+const char* ToString(TraceRecord::Kind kind) {
+  switch (kind) {
+    case TraceRecord::Kind::kSend:
+      return "send";
+    case TraceRecord::Kind::kDeliver:
+      return "recv";
+    case TraceRecord::Kind::kWakeup:
+      return "wake";
+    case TraceRecord::Kind::kLeader:
+      return "LEAD";
+    case TraceRecord::Kind::kCrash:
+      return "CRSH";
+    case TraceRecord::Kind::kDrop:
+      return "drop";
+    case TraceRecord::Kind::kLoss:
+      return "loss";
+    case TraceRecord::Kind::kDuplicate:
+      return "dupe";
+    case TraceRecord::Kind::kTimerSet:
+      return "tset";
+    case TraceRecord::Kind::kTimerFire:
+      return "fire";
+    case TraceRecord::Kind::kTimerCancel:
+      return "tcxl";
+    case TraceRecord::Kind::kPhaseBegin:
+      return "pbeg";
+    case TraceRecord::Kind::kPhaseEnd:
+      return "pend";
+  }
+  return "?";
 }
 
 std::string Trace::ToString(std::size_t max_lines) const {
@@ -22,42 +55,14 @@ std::string Trace::ToString(std::size_t max_lines) const {
       os << "... (" << records_.size() - max_lines << " more)\n";
       break;
     }
-    const char* kind = "?";
-    switch (r.kind) {
-      case TraceRecord::Kind::kSend:
-        kind = "send";
-        break;
-      case TraceRecord::Kind::kDeliver:
-        kind = "recv";
-        break;
-      case TraceRecord::Kind::kWakeup:
-        kind = "wake";
-        break;
-      case TraceRecord::Kind::kLeader:
-        kind = "LEAD";
-        break;
-      case TraceRecord::Kind::kCrash:
-        kind = "CRSH";
-        break;
-      case TraceRecord::Kind::kDrop:
-        kind = "drop";
-        break;
-      case TraceRecord::Kind::kLoss:
-        kind = "loss";
-        break;
-      case TraceRecord::Kind::kDuplicate:
-        kind = "dupe";
-        break;
-      case TraceRecord::Kind::kTimerSet:
-        kind = "tset";
-        break;
-      case TraceRecord::Kind::kTimerFire:
-        kind = "fire";
-        break;
+    os << r.at.ToString() << " " << celect::sim::ToString(r.kind)
+       << " node=" << r.node << " peer=" << r.peer << " port=" << r.port
+       << " type=" << r.type << " clock=" << r.clock;
+    if (r.mid != 0) os << " mid=" << r.mid;
+    if (r.phase != obs::PhaseId::kNone) {
+      os << " phase=" << obs::PhaseKey(r.phase, r.phase_level);
     }
-    os << r.at.ToString() << " " << kind << " node=" << r.node
-       << " peer=" << r.peer << " port=" << r.port << " type=" << r.type
-       << "\n";
+    os << "\n";
   }
   return os.str();
 }

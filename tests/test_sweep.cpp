@@ -186,7 +186,7 @@ TEST(BenchReporter, GoldenDocument) {
   std::string expected =
       "{\n  \"suite\": \"T1\",\n  \"git_rev\": " +
       JsonString(BenchReporter::GitRev()) +
-      ",\n  \"schema_version\": 1,\n  \"rows\": [\n"
+      ",\n  \"schema_version\": 2,\n  \"rows\": [\n"
       "    {\"n\": 8, \"protocol\": \"D\", \"seed_count\": 2, "
       "\"messages\": {\"mean\": 60, \"sd\": " +
       JsonNumber(row.messages.stddev()) +
@@ -197,6 +197,29 @@ TEST(BenchReporter, GoldenDocument) {
       "\"wall_ns\": 1000, \"events_per_sec\": 5000, "
       "\"extra\": {\"k\": 4}}\n  ]\n}\n";
   EXPECT_EQ(reporter.ToJson(), expected);
+}
+
+TEST(BenchReporter, HistogramsSection) {
+  BenchReporter reporter("T1h");
+  reporter.Add(BenchRow{});
+  // Empty telemetry: no "histograms" key at all.
+  EXPECT_EQ(reporter.ToJson().find("histograms"), std::string::npos);
+
+  obs::Telemetry t;
+  t.latency.Add(1);
+  t.latency.Add(3);
+  t.queue_depth.Add(0);
+  reporter.MergeTelemetry(t);
+  std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\": {\"count\": 2, \"sum\": 4, "
+                      "\"min\": 1, \"max\": 3, \"mean\": 2, \"p50\": 3, "
+                      "\"p90\": 3, \"p99\": 3, \"buckets\": [0, 1, 1]}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"queue_depth\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"capture_width\": {\"count\": 0"),
+            std::string::npos);
 }
 
 TEST(BenchReporter, WriteFileRoundTrips) {

@@ -3,7 +3,8 @@
 
 Usage:
   check_bench_json.py FILE [FILE ...]
-      Validate each file against schema_version 1.
+      Validate each file against schema_version 2 (version 1 documents —
+      version 2 minus the optional "histograms" section — still pass).
 
   check_bench_json.py --compare A B
       Additionally require A and B to be identical after zeroing the
@@ -28,11 +29,44 @@ ROW_REQUIRED = {
     "events_per_sec",
 }
 ROW_OPTIONAL = {"extra"}
+HISTOGRAM_REQUIRED = {
+    "count",
+    "sum",
+    "min",
+    "max",
+    "mean",
+    "p50",
+    "p90",
+    "p99",
+    "buckets",
+}
+HISTOGRAM_NAMES = {"latency", "queue_depth", "capture_width"}
 
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_histogram(path, name, value):
+    if not isinstance(value, dict) or set(value) != HISTOGRAM_REQUIRED:
+        fail(path, f"histograms.{name}: expected keys {HISTOGRAM_REQUIRED}")
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        v = value[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(path, f"histograms.{name}.{key}: not a non-negative integer")
+    if not isinstance(value["mean"], (int, float)) or isinstance(
+        value["mean"], bool
+    ):
+        fail(path, f"histograms.{name}.mean: not a number")
+    buckets = value["buckets"]
+    if not isinstance(buckets, list) or len(buckets) > 65:
+        fail(path, f"histograms.{name}.buckets: expected a list of <= 65")
+    for b in buckets:
+        if not isinstance(b, int) or isinstance(b, bool) or b < 0:
+            fail(path, f"histograms.{name}.buckets: non-negative ints only")
+    if sum(buckets) != value["count"]:
+        fail(path, f"histograms.{name}: bucket counts do not sum to count")
 
 
 def check_summary(path, row_index, name, value):
@@ -52,8 +86,16 @@ def check_document(path):
     for key in ("suite", "git_rev", "schema_version", "rows"):
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
-    if doc["schema_version"] != 1:
+    if doc["schema_version"] not in (1, 2):
         fail(path, f"unsupported schema_version {doc['schema_version']}")
+    if "histograms" in doc:
+        if doc["schema_version"] < 2:
+            fail(path, "histograms requires schema_version >= 2")
+        hists = doc["histograms"]
+        if not isinstance(hists, dict) or set(hists) != HISTOGRAM_NAMES:
+            fail(path, f"histograms: expected keys {HISTOGRAM_NAMES}")
+        for name, value in hists.items():
+            check_histogram(path, name, value)
     if not isinstance(doc["suite"], str) or not doc["suite"]:
         fail(path, "suite must be a non-empty string")
     if not isinstance(doc["rows"], list) or not doc["rows"]:
