@@ -1,0 +1,205 @@
+// E17 — the continuous election service under churn: availability,
+// election-latency tails, and message amplification while nodes cycle
+// crash → rejoin and leases force back-to-back re-elections.
+//
+//   --threads=N   fan the seed sweeps over worker threads (results
+//                 identical for any thread count)
+//   --json=PATH   write the BENCH_churn.json document (schema 2; the
+//                 histograms section carries election_latency)
+//   --quick       shrink horizons and seed counts for CI smoke runs
+//   --telemetry   also fold the runtime's latency/queue/capture
+//                 histograms into the JSON
+#include <iostream>
+#include <string>
+
+#include "celect/harness/bench_json.h"
+#include "celect/harness/churn.h"
+#include "celect/harness/experiment.h"
+#include "celect/harness/table.h"
+#include "celect/proto/nosod/fault_tolerant.h"
+#include "celect/sim/time.h"
+
+namespace {
+
+// One aggregated row per churn configuration.
+celect::harness::BenchRow ChurnRow(const std::string& protocol,
+                                   std::uint32_t n,
+                                   const celect::harness::ChurnSweepResult& s) {
+  celect::harness::BenchRow row;
+  row.protocol = protocol;
+  row.n = n;
+  row.seed_count = s.cases;
+  row.messages = s.messages;
+  row.time = s.time;
+  row.wall_ns = s.wall_ns;
+  row.events_per_sec =
+      s.wall_ns > 0 ? static_cast<double>(s.events_processed) * 1e9 /
+                          static_cast<double>(s.wall_ns)
+                    : 0.0;
+  row.extra.emplace_back("crashes", static_cast<double>(s.crashes_injected));
+  row.extra.emplace_back("rejoins", static_cast<double>(s.rejoins));
+  row.extra.emplace_back("elections",
+                         static_cast<double>(s.elections_completed));
+  row.extra.emplace_back("unavailable_ticks",
+                         static_cast<double>(s.unavailable_ticks));
+  row.extra.emplace_back("granted", static_cast<double>(s.leases_granted));
+  row.extra.emplace_back("renewed", static_cast<double>(s.leases_renewed));
+  row.extra.emplace_back("expired", static_cast<double>(s.leases_expired));
+  row.extra.emplace_back("revoked", static_cast<double>(s.leases_revoked));
+  row.extra.emplace_back("violations",
+                         static_cast<double>(s.violations.size()));
+  return row;
+}
+
+double PerUnit(std::uint64_t ticks) {
+  return static_cast<double>(ticks) /
+         static_cast<double>(celect::sim::Time::kTicksPerUnit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace celect;
+  using harness::Table;
+
+  harness::BenchEnv env(argc, argv, "churn");
+  int violations_seen = 0;
+
+  harness::PrintBanner(
+      std::cout, "C1 (churn intensity sweep at N = 64)",
+      "A growing subset of nodes cycles crash/rejoin while the lease "
+      "layer re-elects around them. Availability and the election-"
+      "latency tail degrade gracefully; safety (at most one unexpired "
+      "lease) never does.");
+  {
+    const std::uint32_t n = 64;
+    const std::uint32_t seeds = env.quick() ? 2 : 5;
+    const std::int64_t horizon_units = env.quick() ? 60 : 300;
+    Table t({"churn", "cases", "crashes", "rejoins", "elections",
+             "p99 latency", "unavailable", "avg msgs", "violations"});
+    for (std::uint32_t churn : {2u, 4u, 8u}) {
+      harness::ChurnOptions opt;
+      opt.n = n;
+      opt.churn_nodes = churn;
+      opt.loss = 0.01;
+      opt.lease.horizon = sim::Time::FromUnits(horizon_units);
+      opt.lease.max_renewals = 3;
+      opt.threads = env.threads();
+      opt.enable_telemetry = env.telemetry();
+      const auto sweep = harness::SweepChurn(8100 + churn, seeds, opt);
+      violations_seen += static_cast<int>(sweep.violations.size());
+      const double window =
+          static_cast<double>(seeds) *
+          static_cast<double>(opt.lease.horizon.ticks());
+      t.AddRow(
+          {Table::Int(churn), Table::Int(sweep.cases),
+           Table::Int(sweep.crashes_injected), Table::Int(sweep.rejoins),
+           Table::Int(sweep.elections_completed),
+           Table::Num(PerUnit(sweep.telemetry.election_latency.ApproxQuantile(
+               0.99))) + "s",
+           Table::Num(100.0 * static_cast<double>(sweep.unavailable_ticks) /
+                          window,
+                      1) +
+               "%",
+           Table::Int(static_cast<std::uint64_t>(sweep.messages.mean())),
+           Table::Int(sweep.violations.size())});
+      env.reporter().Add(
+          ChurnRow("lease/churn(" + std::to_string(churn) + ")", n, sweep));
+      env.reporter().MergeTelemetry(sweep.telemetry);
+    }
+    t.Print(std::cout);
+  }
+
+  harness::PrintBanner(
+      std::cout, "C2 (re-election storm: leases expire by design)",
+      "max_renewals = 1 forces a step-down after one renewal, so the "
+      "service holds elections back to back for the whole window — "
+      "thousands of successive terms at N = 64 in the full run.");
+  {
+    const std::uint32_t n = 64;
+    const std::int64_t horizon_units = env.quick() ? 150 : 20000;
+    harness::ChurnOptions opt;
+    opt.n = n;
+    opt.churn_nodes = 8;
+    opt.lease.horizon = sim::Time::FromUnits(horizon_units);
+    opt.lease.max_renewals = 1;
+    opt.threads = env.threads();
+    opt.enable_telemetry = env.telemetry();
+    const auto sweep = harness::SweepChurn(1, 1, opt);
+    violations_seen += static_cast<int>(sweep.violations.size());
+    const auto& lat = sweep.telemetry.election_latency;
+    std::cout << "elections completed: " << sweep.elections_completed
+              << "  (granted=" << sweep.leases_granted
+              << " renewed=" << sweep.leases_renewed
+              << " revoked=" << sweep.leases_revoked << ")\n"
+              << "election latency p50/p99: "
+              << Table::Num(PerUnit(lat.ApproxQuantile(0.5))) << "s / "
+              << Table::Num(PerUnit(lat.ApproxQuantile(0.99))) << "s\n"
+              << "unavailable: "
+              << Table::Num(100.0 *
+                                static_cast<double>(sweep.unavailable_ticks) /
+                                static_cast<double>(opt.lease.horizon.ticks()),
+                            1)
+              << "% of the service window\n"
+              << "violations: " << sweep.violations.size() << "\n";
+    for (const auto& v : sweep.violations) {
+      std::cout << "  " << harness::Describe(v) << "\n";
+    }
+    env.reporter().Add(ChurnRow("lease/storm", n, sweep));
+    env.reporter().MergeTelemetry(sweep.telemetry);
+  }
+
+  harness::PrintBanner(
+      std::cout, "C3 (message amplification vs a one-shot election)",
+      "What the continuous service pays per election relative to one "
+      "isolated FT election at the same N: lease upkeep (grant/renew/"
+      "ack rounds) plus re-election traffic under churn.");
+  {
+    const std::uint32_t n = env.quick() ? 32 : 64;
+    harness::ChurnOptions opt;
+    opt.n = n;
+    opt.churn_nodes = 4;
+    opt.lease.horizon = sim::Time::FromUnits(env.quick() ? 60 : 200);
+    opt.lease.max_renewals = 2;
+    opt.threads = env.threads();
+    const auto sweep = harness::SweepChurn(4242, env.quick() ? 2 : 4, opt);
+    violations_seen += static_cast<int>(sweep.violations.size());
+
+    harness::RunOptions ro;
+    ro.n = n;
+    ro.seed = 4242;
+    const auto lease = harness::EffectiveLeaseParams(opt);
+    const sim::RunResult one_shot =
+        harness::RunElection(proto::nosod::MakeFaultTolerant(lease.f), ro);
+
+    const double per_election =
+        sweep.elections_completed > 0
+            ? sweep.messages.mean() * sweep.cases /
+                  static_cast<double>(sweep.elections_completed)
+            : 0.0;
+    const double baseline = static_cast<double>(one_shot.total_messages);
+    Table t({"config", "messages", "elections", "msgs/election"});
+    t.AddRow({"one-shot FT(f=" + std::to_string(lease.f) + ")",
+              Table::Int(one_shot.total_messages), Table::Int(1),
+              Table::Num(baseline)});
+    t.AddRow({"lease service", Table::Int(static_cast<std::uint64_t>(
+                                   sweep.messages.mean() * sweep.cases)),
+              Table::Int(sweep.elections_completed),
+              Table::Num(per_election)});
+    t.Print(std::cout);
+    std::cout << "amplification: x"
+              << Table::Num(baseline > 0 ? per_election / baseline : 0.0, 2)
+              << " per election (lease upkeep + churn-time retries)\n";
+    auto row = ChurnRow("lease/amplification", n, sweep);
+    row.extra.emplace_back("one_shot_messages", baseline);
+    env.reporter().Add(std::move(row));
+    env.reporter().MergeTelemetry(sweep.telemetry);
+  }
+
+  if (violations_seen > 0) {
+    std::cout << "\nWARNING: " << violations_seen
+              << " churn case(s) reported invariant violations\n";
+  }
+  const int rc = env.Finish();
+  return rc != 0 ? rc : (violations_seen > 0 ? 1 : 0);
+}

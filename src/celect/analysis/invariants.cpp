@@ -39,9 +39,9 @@ void InvariantRegistry::CheckLeader(const sim::RunInspect& in) {
 }
 
 void InvariantRegistry::CheckMonotone(sim::NodeId target,
-                                      const sim::RunInspect& in) {
-  if ((*in.failed)[target]) return;
-  for (const auto& [name, value] : in.process(target).Observe().monotone) {
+                                      const sim::RunInspect& in,
+                                      const sim::ProtocolObservables& obs) {
+  for (const auto& [name, value] : obs.monotone) {
     auto [it, inserted] = last_.try_emplace({target, name}, value);
     if (inserted) continue;
     if (value < it->second) {
@@ -51,6 +51,36 @@ void InvariantRegistry::CheckMonotone(sim::NodeId target,
       Violate(in, kInvMonotoneRegression, os.str());
     }
     it->second = std::max(it->second, value);
+  }
+}
+
+void InvariantRegistry::CheckLease(sim::NodeId target,
+                                   const sim::RunInspect& in,
+                                   const sim::ProtocolObservables* obs) {
+  // Re-publish only the target's claim (dead nodes claim nothing), then
+  // scan the claimant set for two unexpired deadlines.
+  if (obs != nullptr && obs->lease.has_value()) {
+    lease_claims_[target] = *obs->lease;
+  } else {
+    lease_claims_.erase(target);
+  }
+  sim::NodeId holder = 0;
+  bool found = false;
+  for (const auto& [node, claim] : lease_claims_) {
+    if (claim.deadline < in.now) continue;  // expired: not a holder
+    if (!found) {
+      holder = node;
+      found = true;
+      continue;
+    }
+    if (lease_pairs_reported_.insert({holder, node}).second) {
+      std::ostringstream os;
+      os << "nodes " << holder << " and " << node
+         << " both hold unexpired leases at t=" << in.now.ticks()
+         << " (terms " << lease_claims_[holder].term << " and " << claim.term
+         << ")";
+      Violate(in, kInvLeaseOverlap, os.str());
+    }
   }
 }
 
@@ -79,8 +109,27 @@ void InvariantRegistry::AfterEvent(sim::NodeId target,
     }
     expected_leader_ = best;
   }
+  if (was_failed_.empty()) was_failed_.assign(in.n, 0);
+  const bool alive = !(*in.failed)[target];
+  if (alive && was_failed_[target]) {
+    // Failed→alive edge: a rejoin rebuilt the node from the factory, so
+    // its gauges legally restart from zero and any cached claim belongs
+    // to the previous incarnation.
+    for (auto it = last_.lower_bound({target, std::string()});
+         it != last_.end() && it->first.first == target;) {
+      it = last_.erase(it);
+    }
+    lease_claims_.erase(target);
+  }
+  was_failed_[target] = alive ? 0 : 1;
   CheckLeader(in);
-  if (opt_.monotone_observables) CheckMonotone(target, in);
+  if (alive && (opt_.monotone_observables || opt_.at_most_one_lease_holder)) {
+    const sim::ProtocolObservables obs = in.process(target).Observe();
+    if (opt_.monotone_observables) CheckMonotone(target, in, obs);
+    if (opt_.at_most_one_lease_holder) CheckLease(target, in, &obs);
+  } else if (!alive && opt_.at_most_one_lease_holder) {
+    CheckLease(target, in, nullptr);
+  }
   if (opt_.message_conservation) CheckConservation(in);
 }
 

@@ -149,7 +149,14 @@ std::string BenchReporter::ToJson() const {
        << ",\n    \"queue_depth\": "
        << HistogramJson(telemetry_.queue_depth)
        << ",\n    \"capture_width\": "
-       << HistogramJson(telemetry_.capture_width) << "\n  }";
+       << HistogramJson(telemetry_.capture_width);
+    // Only churn sweeps feed this one; emitted conditionally so the
+    // existing suites' documents stay byte-identical.
+    if (telemetry_.election_latency.count() > 0) {
+      os << ",\n    \"election_latency\": "
+         << HistogramJson(telemetry_.election_latency);
+    }
+    os << "\n  }";
   }
   os << "\n}\n";
   return os.str();

@@ -255,6 +255,20 @@ std::string Summarize(const sim::RunResult& r) {
        << " duped=" << r.messages_duplicated;
   }
   if (r.timers_fired) os << " timers=" << r.timers_fired;
+  const auto counter = [&r](const char* key) -> std::int64_t {
+    const auto it = r.counters.find(key);
+    return it == r.counters.end() ? 0 : it->second;
+  };
+  if (counter("sim.rejoins") > 0) {
+    os << " rejoins=" << counter("sim.rejoins");
+  }
+  if (counter("lease.granted") > 0 || counter("lease.revoked") > 0 ||
+      counter("lease.expired") > 0) {
+    os << " leases=[granted=" << counter("lease.granted")
+       << " renewed=" << counter("lease.renewed")
+       << " expired=" << counter("lease.expired")
+       << " revoked=" << counter("lease.revoked") << "]";
+  }
   if (r.invariant_violations) {
     os << " invariant_violations=" << r.invariant_violations;
   }

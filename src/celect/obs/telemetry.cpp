@@ -82,6 +82,7 @@ void Telemetry::Merge(const Telemetry& o) {
   latency.Merge(o.latency);
   queue_depth.Merge(o.queue_depth);
   capture_width.Merge(o.capture_width);
+  election_latency.Merge(o.election_latency);
   if (inflight.samples_seen() == 0) inflight = o.inflight;
 }
 

@@ -93,11 +93,16 @@ struct Telemetry {
   Histogram queue_depth;    // pending deliveries at the destination,
                             // sampled at each delivery dispatch
   Histogram capture_width;  // messages per completed capture-family span
+  // Coverage-gap lengths (ticks from lease lapse to the next grant),
+  // one sample per completed re-election. Fed by the churn harness's
+  // analysis::LeaseMonitor, not by the runtime — empty elsewhere.
+  Histogram election_latency;
   TimeSeries inflight;      // total deliveries in flight over sim time
 
   bool Empty() const {
     return latency.count() == 0 && queue_depth.count() == 0 &&
-           capture_width.count() == 0 && inflight.samples_seen() == 0;
+           capture_width.count() == 0 && election_latency.count() == 0 &&
+           inflight.samples_seen() == 0;
   }
   // Histograms accumulate; the inflight series keeps the first non-empty
   // run (series from different seeds share no time axis).

@@ -142,6 +142,9 @@ std::string ExportChromeTrace(const std::vector<sim::TraceRecord>& records,
       case TraceRecord::Kind::kCrash:
         Instant(os, "crash", 'p', r);
         break;
+      case TraceRecord::Kind::kRejoin:
+        Instant(os, "rejoin", 'g', r);
+        break;
       case TraceRecord::Kind::kTimerSet:
         Instant(os, "timer set", 't', r);
         break;

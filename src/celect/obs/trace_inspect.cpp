@@ -18,7 +18,8 @@ using sim::TraceRecord;
 constexpr TraceRecord::Kind kAllKinds[] = {
     TraceRecord::Kind::kSend,        TraceRecord::Kind::kDeliver,
     TraceRecord::Kind::kWakeup,      TraceRecord::Kind::kLeader,
-    TraceRecord::Kind::kCrash,       TraceRecord::Kind::kDrop,
+    TraceRecord::Kind::kCrash,       TraceRecord::Kind::kRejoin,
+    TraceRecord::Kind::kDrop,
     TraceRecord::Kind::kLoss,        TraceRecord::Kind::kDuplicate,
     TraceRecord::Kind::kTimerSet,    TraceRecord::Kind::kTimerFire,
     TraceRecord::Kind::kTimerCancel, TraceRecord::Kind::kPhaseBegin,

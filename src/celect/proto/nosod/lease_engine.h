@@ -1,0 +1,97 @@
+// Leader leases over repeated elections — the continuous-service layer.
+//
+// The paper's protocols elect once and stop. A long-running service
+// instead *leases* leadership: the winner of an election holds the
+// leader role for a bounded window, renews it while healthy, and the
+// followers re-elect when the lease lapses — so the system keeps a
+// leader alive through crashes, rejoins, and voluntary step-downs.
+//
+// This engine wraps an inner election factory (the §4 G/FT engine) in a
+// term-numbered lease protocol:
+//
+//   * Elections are numbered by monotone *terms*. All inner-protocol
+//     traffic is wrapped (type += kLeaseWrapBase, term prepended) so
+//     each term is an independent election instance; a node adopting a
+//     higher term discards its old instance. The inner protocol's
+//     safety gives at most one winner per term.
+//
+//   * The term winner does not lead yet — it must *acquire* the lease:
+//     broadcast grant(term, round, deadline = now + lease_duration) and
+//     collect acks from a majority quorum (⌊N/2⌋+1, itself included).
+//     Renewals re-run the same round with a fresh deadline. A follower
+//     acks (t, D) only if t equals its promised term (the unique term-t
+//     holder extending itself) or t exceeds it *and* its previous
+//     promise has strictly expired; acking promises (t, D). Any two
+//     quorums intersect in a node whose promise forbids overlap, so at
+//     most one lease is valid at any instant — even across message
+//     loss, delay, and crashes (safety argument in DESIGN.md §12).
+//
+//   * Crash recovery loses promises (the model has no stable storage).
+//     A rejoined node therefore observes a quarantine ("grey") period
+//     of one lease_duration before acking again: every promise its
+//     previous life made expires inside that window, so the quorum-
+//     intersection argument survives churn.
+//
+//   * Liveness: every engaged node runs a watchdog; when no valid lease
+//     is known and no election traffic has been heard recently, it
+//     bumps the term and nominates itself (periods are staggered by
+//     identity so candidates do not move in lockstep). A holder that
+//     reaches max_renewals steps down (revoke + release broadcast),
+//     which drives the back-to-back re-election storms the churn
+//     workload measures.
+//
+//   * Quiescence: the simulator runs to an empty queue, so the engine
+//     stops arming timers (and nominating) once now >= horizon. The
+//     final lease runs out un-renewed and the run drains.
+//
+// Lease lifecycle counters (granted/renewed/expired/revoked) are
+// recorded holder-side via Context::RecordLease; the at-most-one-valid-
+// holder invariant reads ProtocolObservables::lease claims.
+#pragma once
+
+#include <cstdint>
+
+#include "celect/sim/process.h"
+#include "celect/sim/time.h"
+
+namespace celect::proto::nosod {
+
+// Lease-layer message types. Disjoint from EfgMsg (1..23); wrapped
+// inner traffic lives at kLeaseWrapBase + inner_type.
+enum LeaseMsg : std::uint16_t {
+  kLeaseGrant = 40,    // fields: {term, round, leader_id, deadline_ticks}
+  kLeaseRenew = 41,    // fields: {term, round, leader_id, deadline_ticks}
+  kLeaseAck = 42,      // fields: {term, round}
+  kLeaseReject = 43,   // fields: {term, round}
+  kLeaseRelease = 44,  // fields: {term} — holder stepped down
+  kLeaseWrapBase = 100,
+};
+
+struct LeaseParams {
+  // How long one granted/renewed lease is valid.
+  sim::Time lease_duration = sim::Time::FromUnits(4);
+  // Holder renewal cadence; must be positive and < lease_duration so a
+  // healthy holder renews before expiry.
+  sim::Time renew_interval = sim::Time::FromUnits(1);
+  // Watchdog base period: how long followers wait on a missing lease
+  // (and on a silent election) before bumping the term. Staggered per
+  // node by identity to avoid lockstep candidacies.
+  sim::Time election_timeout = sim::Time::FromUnits(4);
+  // The engine initiates nothing (timers, nominations, renewals) at or
+  // past this simulated time, so the run quiesces. The service window
+  // of the benchmark is [0, horizon).
+  sim::Time horizon = sim::Time::FromUnits(60);
+  // Renewals before the holder voluntarily steps down and forces a
+  // re-election. 0 = never step down (lead until crash or horizon).
+  std::uint32_t max_renewals = 0;
+  // Inner election parameters (MakeFaultTolerant): failure budget f and
+  // capture parameter k (0 = log N). f = 0 runs plain protocol G
+  // inside; mid-election crashes are then recovered by the lease
+  // layer's term-bumping watchdog instead of the FT timers.
+  std::uint32_t f = 0;
+  std::uint32_t k = 0;
+};
+
+sim::ProcessFactory MakeLeaseEngine(LeaseParams params);
+
+}  // namespace celect::proto::nosod

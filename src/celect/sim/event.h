@@ -42,6 +42,15 @@ struct CrashEvent {
   NodeId node;
 };
 
+// A crashed node coming back (scheduled by a FaultPlan's rejoins). The
+// runtime revives the node with a *fresh* process instance — crashes
+// lose all volatile protocol state — and leaves it passive until a
+// message, timer, or pending wakeup reaches it. A rejoin addressed to a
+// node that never crashed (its trigger did not fire) is a no-op.
+struct RejoinEvent {
+  NodeId node;
+};
+
 // A timer armed via Context::SetTimer firing at `node`. Cancelled timers
 // stay in the queue and are discarded at dispatch.
 struct TimerEvent {
@@ -49,8 +58,8 @@ struct TimerEvent {
   TimerId timer;
 };
 
-using EventBody =
-    std::variant<WakeupEvent, DeliveryEvent, CrashEvent, TimerEvent>;
+using EventBody = std::variant<WakeupEvent, DeliveryEvent, CrashEvent,
+                               RejoinEvent, TimerEvent>;
 
 struct Event {
   Time at;

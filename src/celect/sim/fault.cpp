@@ -1,6 +1,8 @@
 #include "celect/sim/fault.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "celect/util/check.h"
 
@@ -32,6 +34,56 @@ void ValidateFaultPlan(const FaultPlan& plan, std::uint32_t n) {
         break;  // any type value is legal; an unused type never fires
     }
   }
+  if (plan.rejoins.empty()) return;
+  for (const RejoinSpec& r : plan.rejoins) {
+    CELECT_CHECK(r.node < n) << "rejoin target " << r.node
+                             << " outside network of size " << n;
+    CELECT_CHECK(r.at >= Time::Zero()) << "rejoin scheduled before zero";
+  }
+  // Per-node ordering rules (see fault.h): for every node with rejoins,
+  // its timed crashes and rejoins must occur at pairwise-distinct times
+  // and strictly alternate crash → rejoin → crash → ...
+  struct TimedEvent {
+    Time at;
+    bool is_rejoin;
+  };
+  std::map<NodeId, std::vector<TimedEvent>> timeline;
+  std::set<NodeId> has_trigger;
+  for (const CrashSpec& c : plan.crashes) {
+    if (c.trigger == CrashSpec::Trigger::kAtTime) {
+      timeline[c.node].push_back({c.at, false});
+    } else {
+      has_trigger.insert(c.node);
+    }
+  }
+  std::set<NodeId> rejoining;
+  for (const RejoinSpec& r : plan.rejoins) {
+    timeline[r.node].push_back({r.at, true});
+    rejoining.insert(r.node);
+  }
+  for (auto& [node, events] : timeline) {
+    if (!rejoining.count(node)) continue;  // crash-only nodes: old rules
+    std::stable_sort(
+        events.begin(), events.end(),
+        [](const TimedEvent& a, const TimedEvent& b) { return a.at < b.at; });
+    for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+      CELECT_CHECK(events[i].at != events[i + 1].at)
+          << "node " << node << ": crash/rejoin times must be pairwise "
+          << "distinct (two events at t=" << events[i].at.ticks()
+          << " ticks)";
+      CELECT_CHECK(events[i].is_rejoin != events[i + 1].is_rejoin)
+          << "node " << node << ": timed crashes and rejoins must "
+          << "alternate crash -> rejoin -> crash (consecutive "
+          << (events[i].is_rejoin ? "rejoins" : "crashes") << " at t="
+          << events[i].at.ticks() << " and t=" << events[i + 1].at.ticks()
+          << " ticks)";
+    }
+    CELECT_CHECK(!events.front().is_rejoin || has_trigger.count(node))
+        << "node " << node << ": first timed event is a rejoin at t="
+        << events.front().at.ticks()
+        << " ticks but no earlier crash can have killed the node (add a "
+        << "timed crash before it or a send/receive/type trigger)";
+  }
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t n)
@@ -51,6 +103,14 @@ std::vector<std::pair<NodeId, Time>> FaultInjector::TimedCrashes() const {
     if (c.trigger == CrashSpec::Trigger::kAtTime) {
       out.emplace_back(c.node, c.at);
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, Time>> FaultInjector::TimedRejoins() const {
+  std::vector<std::pair<NodeId, Time>> out;
+  for (const RejoinSpec& r : plan_.rejoins) {
+    out.emplace_back(r.node, r.at);
   }
   return out;
 }

@@ -16,6 +16,13 @@
 // current handler vanishes. Messages already in flight *from* it are
 // delivered normally (they left before the crash).
 //
+// Rejoin semantics (churn): a plan may schedule RejoinSpecs that revive
+// crashed nodes at an absolute time. Revival is crash-recovery without
+// stable storage — the node comes back as a *fresh* process instance
+// (all volatile protocol state lost), is notified via Process::OnRejoin,
+// and stays passive until protocol traffic reaches it. A rejoin whose
+// node is alive at dispatch (its crash trigger never fired) is a no-op.
+//
 // Everything here is deterministic: the same plan and seed produce the
 // same injected faults, so every chaos run is replayable.
 #pragma once
@@ -61,15 +68,25 @@ struct LinkFaultProfile {
   bool Any() const { return loss > 0.0 || duplicate > 0.0 || reorder > 0.0; }
 };
 
+// One scheduled revival. Always time-triggered: a rejoin is an external
+// repair action (operator restarts the machine), not a protocol event.
+struct RejoinSpec {
+  NodeId node = 0;
+  Time at = Time::Zero();
+};
+
 // A complete fault schedule for one run.
 struct FaultPlan {
   std::vector<CrashSpec> crashes;
+  std::vector<RejoinSpec> rejoins;
   LinkFaultProfile link;
   // Seed for the link-fault RNG stream (independent of delay/identity
   // streams so enabling faults never perturbs the fault-free schedule).
   std::uint64_t seed = 0;
 
-  bool Empty() const { return crashes.empty() && !link.Any(); }
+  bool Empty() const {
+    return crashes.empty() && rejoins.empty() && !link.Any();
+  }
 };
 
 // Structural validation, deliberately separate from ValidateConfig:
@@ -77,6 +94,23 @@ struct FaultPlan {
 // but a node crashed mid-run by a FaultPlan may legally be one — it
 // lived, woke, participated, and then died. CHECK-fails on out-of-range
 // nodes, rates outside [0, 1], or zero counts.
+//
+// Churn ordering rules, enforced per node for every node with rejoins
+// (a malformed churn plan fails fast instead of silently no-opping):
+//   1. All of the node's timed crash times and rejoin times are pairwise
+//      distinct — a crash at or at-the-instant-of a rejoin is rejected
+//      (tie-breaking by schedule order would make "did it come back?"
+//      depend on plan construction order, not the plan's content).
+//   2. Sorted by time, the node's timed crashes and rejoins strictly
+//      alternate: crash → rejoin → crash → ... Two rejoins without an
+//      intervening crash (the second can never fire) or two timed
+//      crashes without an intervening rejoin (the second is dead-on-
+//      arrival) are both rejected.
+//   3. The node's earliest timed event may be a rejoin only when the
+//      node also carries a count- or type-triggered crash spec — only a
+//      trigger can plausibly have killed it before that time. (Reviving
+//      initially-failed nodes is out of scope: those model machines that
+//      were never part of the run.)
 void ValidateFaultPlan(const FaultPlan& plan, std::uint32_t n);
 
 // Tracks which crash triggers have fired. The runtime owns one per run
@@ -91,6 +125,9 @@ class FaultInjector {
 
   // The kAtTime crashes, for up-front scheduling.
   std::vector<std::pair<NodeId, Time>> TimedCrashes() const;
+
+  // The rejoins (always timed), for up-front scheduling.
+  std::vector<std::pair<NodeId, Time>> TimedRejoins() const;
 
   // Reports a completed send; true means the node crashes now (later
   // sends from the same handler must be swallowed by the caller).

@@ -29,6 +29,12 @@ void Metrics::RecordReorder() { ++messages_reordered_; }
 
 void Metrics::RecordCrash() { ++crashes_injected_; }
 
+void Metrics::RecordRejoin() { ++rejoins_; }
+
+void Metrics::RecordLeaseEvent(LeaseEvent event) {
+  ++lease_events_[static_cast<int>(event)];
+}
+
 void Metrics::RecordTimerSet() { ++timers_set_; }
 
 void Metrics::RecordTimerFired() { ++timers_fired_; }

@@ -28,6 +28,11 @@ class Metrics {
   void RecordDuplicate();
   void RecordReorder();
   void RecordCrash();
+  void RecordRejoin();
+  // Per-cause lease lifecycle tally (granted / renewed / expired /
+  // revoked). Mirrors the per-cause drop counters: zero entries on
+  // lease-free runs, surfaced in RunResult::counters otherwise.
+  void RecordLeaseEvent(LeaseEvent event);
   void RecordTimerSet();
   void RecordTimerFired();
   void RecordTimerCancelled();
@@ -54,6 +59,14 @@ class Metrics {
   std::uint64_t messages_duplicated() const { return messages_duplicated_; }
   std::uint64_t messages_reordered() const { return messages_reordered_; }
   std::uint64_t crashes_injected() const { return crashes_injected_; }
+  std::uint64_t rejoins() const { return rejoins_; }
+  std::uint64_t leases_granted() const { return lease_events_[0]; }
+  std::uint64_t leases_renewed() const { return lease_events_[1]; }
+  std::uint64_t leases_expired() const { return lease_events_[2]; }
+  std::uint64_t leases_revoked() const { return lease_events_[3]; }
+  std::uint64_t lease_event_count(LeaseEvent event) const {
+    return lease_events_[static_cast<int>(event)];
+  }
   std::uint64_t timers_set() const { return timers_set_; }
   std::uint64_t timers_fired() const { return timers_fired_; }
   std::uint64_t timers_cancelled() const { return timers_cancelled_; }
@@ -87,6 +100,8 @@ class Metrics {
   std::uint64_t messages_duplicated_ = 0;
   std::uint64_t messages_reordered_ = 0;
   std::uint64_t crashes_injected_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t lease_events_[kLeaseEventCount] = {0, 0, 0, 0};
   std::uint64_t timers_set_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t timers_cancelled_ = 0;

@@ -69,6 +69,12 @@ class Context {
   // declaration; the single-leader invariant is checked by callers.
   virtual void DeclareLeader() = 0;
 
+  // Records a lease lifecycle event (granted/renewed/expired/revoked)
+  // into the run's per-cause lease counters. Default: ignore — only the
+  // asynchronous runtime accounts leases; scripted and synchronous
+  // contexts have no lease layer.
+  virtual void RecordLease(LeaseEvent event) { (void)event; }
+
   // Protocol-specific counters surfaced in RunResult (e.g. max forwarded
   // messages in flight). Monotonic add.
   virtual void AddCounter(std::string_view name, std::int64_t delta) = 0;
@@ -98,12 +104,23 @@ class Context {
 struct ProtocolObservables {
   // Named per-node gauges that must never decrease over a run: capture
   // levels, phase indices, accept counts. Names must be stable for the
-  // lifetime of the node.
+  // lifetime of the node. A node revived by a RejoinEvent restarts from
+  // a fresh process, so checkers reset its baselines at revival.
   std::vector<std::pair<const char*, std::int64_t>> monotone;
   // Whether this node has reached a terminal state (leader, killed,
   // captured, passive bystander). nullopt: the protocol makes no claim,
   // and quiescence checks skip the node.
   std::optional<bool> terminated;
+  // Set while this node believes it holds the leader lease for `term`,
+  // valid until `deadline` (sim time, inclusive). The at-most-one-
+  // valid-holder invariant compares claims across live nodes after
+  // every event; a claim whose deadline has passed is not a violation —
+  // it is an expired lease the holder has not yet noticed.
+  struct LeaseClaim {
+    std::int64_t term = 0;
+    Time deadline = Time::Zero();
+  };
+  std::optional<LeaseClaim> lease;
 };
 
 class Process {
@@ -123,6 +140,14 @@ class Process {
     (void)ctx;
     (void)timer;
   }
+
+  // This node was just revived by a RejoinEvent. Called once, on the
+  // *fresh* process instance the runtime built to replace the crashed
+  // one — there is no state to recover; the hook exists so churn-aware
+  // layers can arm timers or start a quarantine ("grey") period before
+  // re-engaging. Default: ignore — the revived node stays passive until
+  // a message reaches it, which is exactly the paper's wakeup rule.
+  virtual void OnRejoin(Context& ctx) { (void)ctx; }
 
   // Human-readable snapshot of protocol state, for post-mortems and
   // debugging tools. Optional.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <unordered_map>
@@ -70,6 +71,10 @@ class Runtime::ContextImpl : public Context {
     if (rt_.options_.stop_on_leader) rt_.stop_requested_ = true;
   }
 
+  void RecordLease(LeaseEvent event) override {
+    rt_.metrics_.RecordLeaseEvent(event);
+  }
+
   void BeginPhase(obs::PhaseId phase, std::int64_t level) override {
     rt_.BeginPhase(node_, phase, level);
   }
@@ -93,6 +98,7 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
                  RuntimeOptions options)
     : config_(std::move(config)),
       options_(options),
+      factory_(factory),
       links_(config_.n),
       trace_(options.enable_trace, options.trace_cap) {
   CELECT_CHECK(config_.n >= 2);
@@ -114,11 +120,16 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
     telemetry_ = std::make_unique<obs::Telemetry>();
     pending_deliveries_.assign(config_.n, 0);
   }
+  pending_rejoins_.assign(config_.n, 0);
   if (!config_.faults.Empty()) {
     ValidateFaultPlan(config_.faults, config_.n);
     injector_ = std::make_unique<FaultInjector>(config_.faults, config_.n);
     for (const auto& [node, at] : injector_->TimedCrashes()) {
       queue_.Push(at, CrashEvent{node});
+    }
+    for (const auto& [node, at] : injector_->TimedRejoins()) {
+      queue_.Push(at, RejoinEvent{node});
+      ++pending_rejoins_[node];
     }
     if (config_.faults.link.Any()) {
       // Stream-split off the plan seed so link faults never perturb the
@@ -141,7 +152,7 @@ Process& Runtime::process(NodeId address) {
 TimerId Runtime::ScheduleTimer(NodeId node, Time delay) {
   CELECT_CHECK(delay >= Time::Zero()) << "timer delay must be non-negative";
   TimerId id = ++next_timer_;
-  active_timers_.insert(id);
+  active_timers_.emplace(id, node);
   queue_.Push(now_ + delay, TimerEvent{node, id});
   metrics_.RecordTimerSet();
   TraceEvent(TraceRecord::Kind::kTimerSet, node, node, kInvalidPort, 0, id);
@@ -160,8 +171,29 @@ void Runtime::MarkCrashed(NodeId node) {
   failed_[node] = true;
   metrics_.RecordCrash();
   TraceEvent(TraceRecord::Kind::kCrash, node, node, kInvalidPort, 0, 0);
+  // The node's timers die with it. Externally identical to the old
+  // "discard at dispatch" rule (no metrics either way), but necessary
+  // for churn: were a pre-crash timer left live, it would fire into the
+  // fresh process a rejoin installs.
+  for (auto it = active_timers_.begin(); it != active_timers_.end();) {
+    it = it->second == node ? active_timers_.erase(it) : std::next(it);
+  }
   // A dead node's spans end at its death, not at quiescence.
   while (!phase_stack_[node].empty()) CloseTopPhase(node);
+}
+
+void Runtime::MarkRejoined(NodeId node) {
+  if (!failed_[node]) return;  // crash trigger never fired: rejoin no-ops
+  failed_[node] = false;
+  // Crash recovery without stable storage: the node restarts as a fresh
+  // process instance; nothing of its previous life survives.
+  processes_[node] = factory_(ProcessInit{node, ids_[node], config_.n});
+  CELECT_CHECK(processes_[node] != nullptr);
+  metrics_.RecordRejoin();
+  ++lamport_[node];
+  TraceEvent(TraceRecord::Kind::kRejoin, node, node, kInvalidPort, 0, 0);
+  ContextImpl ctx(*this, node);
+  processes_[node]->OnRejoin(ctx);
 }
 
 void Runtime::TraceEvent(TraceRecord::Kind kind, NodeId node, NodeId peer,
@@ -373,6 +405,10 @@ void Runtime::Dispatch(const Event& e) {
     }
   } else if (const auto* c = std::get_if<CrashEvent>(&e.body)) {
     MarkCrashed(c->node);
+  } else if (const auto* rj = std::get_if<RejoinEvent>(&e.body)) {
+    CELECT_DCHECK(pending_rejoins_[rj->node] > 0);
+    --pending_rejoins_[rj->node];
+    MarkRejoined(rj->node);
   }
 }
 
@@ -398,7 +434,14 @@ bool Runtime::EventIsInert(const Event& e) const {
   if (const auto* t = std::get_if<TimerEvent>(&e.body)) {
     return active_timers_.count(t->timer) == 0 || failed_[t->node];
   }
-  return failed_[EventTarget(e.body)];
+  if (const auto* rj = std::get_if<RejoinEvent>(&e.body)) {
+    return !failed_[rj->node];  // reviving a live node is a no-op
+  }
+  // Traffic to a dead node is inert only while the node stays dead: with
+  // a rejoin pending, "dropped before revival" vs "delivered after" is a
+  // real schedule choice the controller must see.
+  const NodeId target = EventTarget(e.body);
+  return failed_[target] && pending_rejoins_[target] == 0;
 }
 
 void Runtime::DrainInert(std::uint64_t& events) {
@@ -532,6 +575,22 @@ RunResult Runtime::Run() {
   if (metrics_.dropped_to_loss() > 0) {
     r.counters["sim.dropped_to_loss"] =
         static_cast<std::int64_t>(metrics_.dropped_to_loss());
+  }
+  if (metrics_.rejoins() > 0) {
+    r.counters["sim.rejoins"] =
+        static_cast<std::int64_t>(metrics_.rejoins());
+  }
+  // Per-cause lease counters ride the counter map like the drop causes:
+  // absent on lease-free runs, so fingerprints of existing workloads are
+  // untouched.
+  const std::pair<const char*, std::uint64_t> lease_counters[] = {
+      {"lease.granted", metrics_.leases_granted()},
+      {"lease.renewed", metrics_.leases_renewed()},
+      {"lease.expired", metrics_.leases_expired()},
+      {"lease.revoked", metrics_.leases_revoked()},
+  };
+  for (const auto& [name, count] : lease_counters) {
+    if (count > 0) r.counters[name] = static_cast<std::int64_t>(count);
   }
   // Per-cause invariant violations ride the counter map too, so harness
   // tables and fingerprints surface them without schema changes.

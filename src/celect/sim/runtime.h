@@ -12,12 +12,19 @@
 // per-message link loss/duplication/reordering. A crashed node stops
 // dispatching — queued deliveries, wakeups, and timers addressed to it
 // are swallowed and accounted as drops.
+//
+// Churn: a FaultPlan's rejoins schedule RejoinEvents that revive crashed
+// nodes. Revival rebuilds the node from the process factory (fresh
+// volatile state — there is no stable storage in the model) and calls
+// Process::OnRejoin on the new instance; the node then participates
+// normally. Timers and phase spans from the node's previous life die
+// with the crash and never leak into the new incarnation.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <optional>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -119,7 +126,7 @@ class Runtime {
   const Trace& trace() const { return trace_; }
   const NetworkConfig& config() const { return config_; }
   // failed[address] after the run: initial failures plus every mid-run
-  // crash that fired.
+  // crash that fired, minus nodes revived by a later rejoin.
   const std::vector<bool>& failed() const { return failed_; }
 
   // The process at `address` — tests use this to assert protocol state.
@@ -143,6 +150,7 @@ class Runtime {
   TimerId ScheduleTimer(NodeId node, Time delay);
   void CancelTimer(NodeId node, TimerId timer);
   void MarkCrashed(NodeId node);
+  void MarkRejoined(NodeId node);
   void BeginPhase(NodeId node, obs::PhaseId phase, std::int64_t level);
   void EndPhase(NodeId node, obs::PhaseId phase);
   // Closes one open span (aggregating its duration up to now_).
@@ -154,6 +162,8 @@ class Runtime {
 
   NetworkConfig config_;
   RuntimeOptions options_;
+  // Kept for the run so RejoinEvents can rebuild revived nodes.
+  ProcessFactory factory_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Id> ids_;
   EventQueue queue_;
@@ -170,13 +180,20 @@ class Runtime {
   std::uint64_t deliveries_inflight_ = 0;
 
   // Failure state: seeded from config_.failed, extended by mid-run
-  // crashes. Never shrinks.
+  // crashes, cleared again by rejoins.
   std::vector<bool> failed_;
   std::unique_ptr<FaultInjector> injector_;
+  // RejoinEvents still in the queue, per node. While one is pending,
+  // traffic to the (dead) node is a real schedule choice — "dropped
+  // before revival" vs "delivered after" — so it must not be drained as
+  // inert under controlled scheduling.
+  std::vector<std::uint32_t> pending_rejoins_;
 
-  // Live timers; a fired or cancelled timer leaves the set, so stale
-  // TimerEvents are discarded at dispatch.
-  std::unordered_set<TimerId> active_timers_;
+  // Live timers (id → owning node); a fired or cancelled timer leaves
+  // the map, so stale TimerEvents are discarded at dispatch. A crash
+  // erases all of the owner's timers, which keeps a pre-crash timer from
+  // ever firing into the fresh process a rejoin installs.
+  std::unordered_map<TimerId, NodeId> active_timers_;
   TimerId next_timer_ = kInvalidTimer;
 
   // --- Observability (obs/) ------------------------------------------

@@ -27,6 +27,8 @@ const char* ToString(TraceRecord::Kind kind) {
       return "LEAD";
     case TraceRecord::Kind::kCrash:
       return "CRSH";
+    case TraceRecord::Kind::kRejoin:
+      return "RJON";
     case TraceRecord::Kind::kDrop:
       return "drop";
     case TraceRecord::Kind::kLoss:

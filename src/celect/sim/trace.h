@@ -27,6 +27,7 @@ struct TraceRecord {
     kWakeup,
     kLeader,
     kCrash,        // node crashed mid-run (fault injection)
+    kRejoin,       // crashed node revived with a fresh process (churn)
     kDrop,         // delivery swallowed by a crashed/failed destination
     kLoss,         // injected link loss
     kDuplicate,    // injected duplicate delivery scheduled

@@ -40,7 +40,10 @@ HISTOGRAM_REQUIRED = {
     "p99",
     "buckets",
 }
+# Every histograms section carries the three runtime-fed histograms;
+# suites that measure re-elections (churn) append election_latency.
 HISTOGRAM_NAMES = {"latency", "queue_depth", "capture_width"}
+HISTOGRAM_OPTIONAL = {"election_latency"}
 
 
 def fail(path, message):
@@ -92,8 +95,16 @@ def check_document(path):
         if doc["schema_version"] < 2:
             fail(path, "histograms requires schema_version >= 2")
         hists = doc["histograms"]
-        if not isinstance(hists, dict) or set(hists) != HISTOGRAM_NAMES:
-            fail(path, f"histograms: expected keys {HISTOGRAM_NAMES}")
+        if (
+            not isinstance(hists, dict)
+            or not HISTOGRAM_NAMES <= set(hists)
+            or set(hists) - HISTOGRAM_NAMES - HISTOGRAM_OPTIONAL
+        ):
+            fail(
+                path,
+                f"histograms: expected keys {HISTOGRAM_NAMES} "
+                f"(plus optional {HISTOGRAM_OPTIONAL})",
+            )
         for name, value in hists.items():
             check_histogram(path, name, value)
     if not isinstance(doc["suite"], str) or not doc["suite"]:
