@@ -195,7 +195,8 @@ BenchEnv::BenchEnv(int argc, const char* const* argv, std::string suite)
       "collect latency/queue-depth histograms into the JSON document");
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
-    std::exit(0);
+    // BenchEnv is constructed at the top of main, pre-threading.
+    std::exit(0);  // NOLINT(concurrency-mt-unsafe)
   }
 }
 

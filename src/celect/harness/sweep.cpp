@@ -1,9 +1,38 @@
 #include "celect/harness/sweep.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
+#include "celect/util/thread_annotations.h"
+
 namespace celect::harness {
+
+namespace {
+
+// First exception any worker captured; later captures are dropped (one
+// failure already invalidates the sweep, and the first is the closest
+// to the root cause under the work-stealing order).
+class ErrorSlot {
+ public:
+  void Capture() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  // Call after every worker joined.
+  void Rethrow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr error_ CELECT_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 std::uint32_t ResolveThreads(std::uint32_t requested, std::size_t count) {
   std::uint32_t threads = requested;
@@ -27,18 +56,28 @@ void ParallelFor(std::size_t count, std::uint32_t threads,
   // cells dwarf small-N ones), so static partitioning would leave
   // workers idle behind the slowest stripe.
   std::atomic<std::size_t> next{0};
+  // A throwing body would std::terminate on the worker thread; capture
+  // instead, drain the pool, and rethrow on the caller.
+  std::atomic<bool> failed{false};
+  ErrorSlot error;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::uint32_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&next, count, &body] {
+    pool.emplace_back([&next, count, &body, &failed, &error] {
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < count;
+           i < count && !failed.load(std::memory_order_relaxed);
            i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          error.Capture();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  error.Rethrow();
 }
 
 std::vector<sim::RunResult> RunSweep(const std::vector<SweepPoint>& grid,

@@ -38,9 +38,13 @@ struct SweepPoint {
   RunOptions options;
 };
 
-// Invokes body(0..count-1), each index exactly once, across the worker
+// Invokes body(0..count-1), each index at most once, across the worker
 // pool. The body must not touch shared mutable state (each index owns
-// its output slot). Blocks until every index has run.
+// its output slot). Blocks until the pool drains. If a body throws,
+// remaining indices are abandoned, the pool is joined, and the first
+// exception (by capture order) is rethrown on the calling thread —
+// same observable contract as the serial path, minus which indices
+// ran.
 void ParallelFor(std::size_t count, std::uint32_t threads,
                  const std::function<void(std::size_t)>& body);
 

@@ -18,6 +18,8 @@ const char* PhaseName(PhaseId id) {
       return "broadcast";
     case PhaseId::kRecovery:
       return "recovery";
+    case PhaseId::kResolve:
+      return "resolve";
   }
   return "none";
 }
@@ -34,7 +36,8 @@ std::string PhaseKey(PhaseId id, std::int64_t level) {
 std::optional<PhaseId> PhaseFromName(const std::string& name) {
   for (PhaseId id : {PhaseId::kNone, PhaseId::kWakeup, PhaseId::kCapture1,
                      PhaseId::kCapture2, PhaseId::kDoubling,
-                     PhaseId::kBroadcast, PhaseId::kRecovery}) {
+                     PhaseId::kBroadcast, PhaseId::kRecovery,
+                     PhaseId::kResolve}) {
     if (name == PhaseName(id)) return id;
   }
   return std::nullopt;

@@ -28,6 +28,7 @@ enum class PhaseId : std::uint16_t {
   kDoubling = 4,  // doubling level l (B's steps, C's phase 2b)
   kBroadcast = 5, // protocol D-style broadcast round
   kRecovery = 6,  // FT timer-driven recovery actions
+  kResolve = 7,   // chordal coordinator's block-resolve fan-out
 };
 
 // Stable lowercase name ("capture1"); "none" for kNone.

@@ -110,6 +110,8 @@ class ChordalNode : public ElectionProcess {
   void BeginResolve(Context& ctx, std::uint32_t level) {
     CELECT_CHECK(!resolve_started_) << "node queried twice";
     resolve_started_ = true;
+    ctx.BeginPhase(obs::PhaseId::kResolve,
+                   static_cast<std::int64_t>(level));
     pending_ = level;
     best_id_ = is_base() ? id_ : -1;
     best_pos_ = is_base() ? static_cast<std::int64_t>(position_) : -1;
@@ -136,6 +138,7 @@ class ChordalNode : public ElectionProcess {
   }
 
   void Complete(Context& ctx) {
+    ctx.EndPhase(obs::PhaseId::kResolve);
     if (!is_root_) {
       reported_ = true;
       ctx.Send(report_port_, Packet{kReport, {best_id_, best_pos_}});

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -1250,7 +1250,9 @@ class EfgNode : public ElectionProcess {
     sim::Time sent;
     std::uint32_t retries = 0;
   };
-  std::unordered_map<Port, PendingCapture> pending_caps_;
+  // Ordered: OnCaptureWatchdog iterates this map and sends retransmits
+  // in iteration order, which reaches message uids and fingerprints.
+  std::map<Port, PendingCapture> pending_caps_;
   sim::TimerId cap_timer_ = sim::kInvalidTimer;
   sim::TimerId bc_timer_ = sim::kInvalidTimer;
   std::uint32_t bc_retries_ = 0;

@@ -64,6 +64,9 @@ enum LeaseMsg : std::uint16_t {
   kLeaseAck = 42,      // fields: {term, round}
   kLeaseReject = 43,   // fields: {term, round}
   kLeaseRelease = 44,  // fields: {term} — holder stepped down
+  // Sentinel offset, not a packet kind: wrapped inner traffic is
+  // dispatched by "type >= wrap base" range checks, never a case arm.
+  // celect-lint: allow(proto-packet-arms) range-dispatched sentinel
   kLeaseWrapBase = 100,
 };
 

@@ -64,9 +64,6 @@ class Metrics {
   std::uint64_t leases_renewed() const { return lease_events_[1]; }
   std::uint64_t leases_expired() const { return lease_events_[2]; }
   std::uint64_t leases_revoked() const { return lease_events_[3]; }
-  std::uint64_t lease_event_count(LeaseEvent event) const {
-    return lease_events_[static_cast<int>(event)];
-  }
   std::uint64_t timers_set() const { return timers_set_; }
   std::uint64_t timers_fired() const { return timers_fired_; }
   std::uint64_t timers_cancelled() const { return timers_cancelled_; }

@@ -13,6 +13,21 @@
 
 namespace celect::sim {
 
+namespace {
+
+// Monotonic host-clock read backing the wall_ns / events_per_sec
+// throughput accounting. Wall time is excluded from FingerprintResult
+// and never reaches traces, so this is the one sanctioned clock read
+// in the deterministic core.
+std::uint64_t WallClockNowNs() {
+  // celect-lint: allow(no-wall-clock) throughput probe, not fingerprinted
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace
+
 NodeId EventTarget(const EventBody& body) {
   return std::visit(
       [](const auto& b) -> NodeId {
@@ -175,6 +190,7 @@ void Runtime::MarkCrashed(NodeId node) {
   // "discard at dispatch" rule (no metrics either way), but necessary
   // for churn: were a pre-crash timer left live, it would fire into the
   // fresh process a rejoin installs.
+  // celect-lint: allow(no-unordered-iteration) erase-only; order-free
   for (auto it = active_timers_.begin(); it != active_timers_.end();) {
     it = it->second == node ? active_timers_.erase(it) : std::next(it);
   }
@@ -511,7 +527,7 @@ RunResult Runtime::Run() {
   CELECT_CHECK(!ran_) << "Runtime::Run may be called only once";
   ran_ = true;
 
-  auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t wall_start = WallClockNowNs();
   std::uint64_t events = 0;
   if (options_.controller) {
     RunControlled(events);
@@ -536,12 +552,7 @@ RunResult Runtime::Run() {
   for (NodeId node = 0; node < config_.n; ++node) {
     while (!phase_stack_[node].empty()) CloseTopPhase(node);
   }
-  metrics_.RecordWallClock(
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - wall_start)
-              .count()),
-      events);
+  metrics_.RecordWallClock(WallClockNowNs() - wall_start, events);
 
   RunResult r;
   r.leader_id = metrics_.leader_id();
@@ -579,6 +590,10 @@ RunResult Runtime::Run() {
   if (metrics_.rejoins() > 0) {
     r.counters["sim.rejoins"] =
         static_cast<std::int64_t>(metrics_.rejoins());
+  }
+  if (metrics_.timers_cancelled() > 0) {
+    r.counters["sim.timers_cancelled"] =
+        static_cast<std::int64_t>(metrics_.timers_cancelled());
   }
   // Per-cause lease counters ride the counter map like the drop causes:
   // absent on lease-free runs, so fingerprints of existing workloads are

@@ -9,7 +9,8 @@ namespace celect {
 namespace {
 [[noreturn]] void Die(const std::string& msg) {
   std::fprintf(stderr, "flag error: %s\n", msg.c_str());
-  std::exit(2);
+  // Flags are parsed once on the main thread before any pool spins up.
+  std::exit(2);  // NOLINT(concurrency-mt-unsafe)
 }
 }  // namespace
 

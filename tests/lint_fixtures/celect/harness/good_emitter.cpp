@@ -1,0 +1,11 @@
+// Lint fixture: consumes live_counter() so only dead getters trip the
+// metrics-surfaced rule.
+#include "celect/sim/metrics.h"
+
+namespace celect::harness {
+
+unsigned long FixtureEmit(const sim::Metrics& m) {
+  return m.live_counter();
+}
+
+}  // namespace celect::harness

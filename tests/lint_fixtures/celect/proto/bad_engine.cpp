@@ -1,0 +1,24 @@
+// Lint fixture: proto-observe / proto-phase-spans — a concrete engine
+// with neither observability hook.
+#include "celect/proto/bad_engine.h"
+
+namespace celect::proto {
+
+class FixtureEngine : public sim::Process {
+ public:
+  int OnPacket(int type) {
+    switch (type) {
+      case kPing:
+        return Emit(kOrphan);
+      case kNeverSent:
+        return 0;
+      default:
+        return -1;
+    }
+  }
+
+ private:
+  int Emit(int t) { return t + kPing; }
+};
+
+}  // namespace celect::proto

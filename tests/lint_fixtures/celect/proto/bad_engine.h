@@ -1,0 +1,15 @@
+// Lint fixture: proto-packet-arms — kOrphan lacks a handler arm and
+// kNeverSent lacks a send site; kPing has both and stays clean.
+#pragma once
+
+#include <cstdint>
+
+namespace celect::proto {
+
+enum FixtureMsg : std::uint16_t {
+  kPing = 1,
+  kOrphan = 2,
+  kNeverSent = 3,
+};
+
+}  // namespace celect::proto

@@ -1,0 +1,17 @@
+// Lint fixture: no-pointer-keys — containers ordered by address.
+#include <map>
+#include <set>
+
+namespace celect::sim {
+
+struct FixtureNode {
+  int id = 0;
+};
+
+class FixturePointerKeys {
+ private:
+  std::map<FixtureNode*, int> by_node_;
+  std::set<const FixtureNode*> visited_;
+};
+
+}  // namespace celect::sim

@@ -1,0 +1,14 @@
+// Lint fixture: no-unseeded-rng fires on std engines, distributions,
+// and the C library; celect::Rng (util/rng.h) is the only way in.
+#include <cstdlib>
+#include <random>
+
+namespace celect::sim {
+
+int FixtureRng() {
+  std::mt19937 gen(42);
+  std::uniform_int_distribution<int> pick(0, 5);
+  return pick(gen) + rand();
+}
+
+}  // namespace celect::sim

@@ -1,0 +1,17 @@
+// Lint fixture: the suppression escape hatch and its failure modes.
+#include <chrono>
+
+namespace celect::sim {
+
+long FixtureSuppression() {
+  // celect-lint: allow(no-wall-clock) fixture-sanctioned probe
+  auto t0 = std::chrono::steady_clock::now();
+  // celect-lint: allow(no-wall-clock)
+  auto t1 = std::chrono::steady_clock::now();
+  // celect-lint: allow(not-a-rule) unknown ids are rejected
+  // celect-lint: allow no-wall-clock malformed, no parens
+  // celect-lint: allow(no-unordered-iteration) nothing here to silence
+  return (t1 - t0).count();
+}
+
+}  // namespace celect::sim

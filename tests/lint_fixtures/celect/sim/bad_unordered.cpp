@@ -1,0 +1,22 @@
+// Lint fixture: no-unordered-iteration fires on the range-for and the
+// explicit .begin() walk; lookups and membership tests stay clean.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace celect::sim {
+
+class FixtureUnordered {
+ public:
+  long Total() const {
+    long total = 0;
+    for (const auto& [key, value] : table_) total += value;
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) ++total;
+    return total + static_cast<long>(table_.count(0));
+  }
+
+ private:
+  std::unordered_map<int, long> table_;
+  std::unordered_set<int> seen_;
+};
+
+}  // namespace celect::sim

@@ -1,0 +1,17 @@
+// Lint fixture: metrics-surfaced — dead_counter() is read nowhere in
+// the fixture tree; live_counter() is consumed by the harness emitter.
+#pragma once
+
+namespace celect::sim {
+
+class Metrics {
+ public:
+  unsigned long dead_counter() const { return dead_; }
+  unsigned long live_counter() const { return live_; }
+
+ private:
+  unsigned long dead_ = 0;
+  unsigned long live_ = 0;
+};
+
+}  // namespace celect::sim

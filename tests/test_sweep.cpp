@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,35 @@ TEST(ParallelFor, MoreThreadsThanWorkCompletes) {
   std::vector<std::atomic<int>> hits(3);
   ParallelFor(3, 64, [&](std::size_t i) { hits[i]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, WorkerExceptionRethrownOnCaller) {
+  for (std::uint32_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        ParallelFor(64, threads,
+                    [](std::size_t i) {
+                      if (i == 13) throw std::runtime_error("cell 13");
+                    }),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, FailureShortCircuitsRemainingWork) {
+  // After the throw, workers stop claiming indices: with the failure
+  // planted at the front of the grid, far fewer than all indices run.
+  std::atomic<int> ran{0};
+  const std::size_t kCount = 10000;
+  try {
+    ParallelFor(kCount, 4, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first cell");
+      ran++;
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first cell");
+  }
+  EXPECT_LT(ran.load(), static_cast<int>(kCount) - 1);
 }
 
 std::vector<SweepPoint> MakeDEpsilonGrid() {

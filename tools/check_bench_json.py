@@ -12,11 +12,21 @@ Usage:
       serial-vs-parallel determinism check: a --threads=1 run and a
       --threads=8 run of the same grid must produce the same rows.
 
+  check_bench_json.py --strict [...]
+      With either form: additionally reject unknown top-level keys
+      (anything beyond suite/git_rev/schema_version/rows/histograms),
+      non-monotone histogram quantiles (min <= p50 <= p90 <= p99 <= max
+      and min <= mean <= max), and a trailing empty histogram bucket
+      (the emitter trims the empty tail, so a trailing zero means the
+      bucket edges were mis-emitted). CI runs bench-smoke in this mode.
+
 Exits non-zero with a message on the first violation.
 """
 
 import json
 import sys
+
+TOP_LEVEL_KEYS = {"suite", "git_rev", "schema_version", "rows", "histograms"}
 
 SUMMARY_KEYS = {"mean", "sd", "min", "max"}
 ROW_REQUIRED = {
@@ -51,6 +61,33 @@ def fail(path, message):
     sys.exit(1)
 
 
+def check_histogram_strict(path, name, value):
+    quantiles = [
+        ("min", value["min"]),
+        ("p50", value["p50"]),
+        ("p90", value["p90"]),
+        ("p99", value["p99"]),
+        ("max", value["max"]),
+    ]
+    for (lo_key, lo), (hi_key, hi) in zip(quantiles, quantiles[1:]):
+        if lo > hi:
+            fail(
+                path,
+                f"histograms.{name}: non-monotone quantiles "
+                f"({lo_key}={lo} > {hi_key}={hi})",
+            )
+    if value["count"] > 0 and not (
+        value["min"] <= value["mean"] <= value["max"]
+    ):
+        fail(path, f"histograms.{name}.mean: outside [min, max]")
+    if value["buckets"] and value["buckets"][-1] == 0:
+        fail(
+            path,
+            f"histograms.{name}.buckets: trailing empty bucket — "
+            "bucket edges are not monotone with the emitted tail trim",
+        )
+
+
 def check_histogram(path, name, value):
     if not isinstance(value, dict) or set(value) != HISTOGRAM_REQUIRED:
         fail(path, f"histograms.{name}: expected keys {HISTOGRAM_REQUIRED}")
@@ -80,7 +117,7 @@ def check_summary(path, row_index, name, value):
             fail(path, f"rows[{row_index}].{name}.{key}: not a number")
 
 
-def check_document(path):
+def check_document(path, strict=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -89,6 +126,11 @@ def check_document(path):
     for key in ("suite", "git_rev", "schema_version", "rows"):
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
+    if strict and set(doc) - TOP_LEVEL_KEYS:
+        fail(
+            path,
+            f"unknown top-level keys {sorted(set(doc) - TOP_LEVEL_KEYS)}",
+        )
     if doc["schema_version"] not in (1, 2):
         fail(path, f"unsupported schema_version {doc['schema_version']}")
     if "histograms" in doc:
@@ -107,6 +149,8 @@ def check_document(path):
             )
         for name, value in hists.items():
             check_histogram(path, name, value)
+            if strict:
+                check_histogram_strict(path, name, value)
     if not isinstance(doc["suite"], str) or not doc["suite"]:
         fail(path, "suite must be a non-empty string")
     if not isinstance(doc["rows"], list) or not doc["rows"]:
@@ -148,12 +192,16 @@ def strip_wall(doc):
 
 
 def main(argv):
+    strict = False
+    if argv and argv[0] == "--strict":
+        strict = True
+        argv = argv[1:]
     if len(argv) >= 1 and argv[0] == "--compare":
         if len(argv) != 3:
             fail("usage", "--compare takes exactly two files")
         a_path, b_path = argv[1], argv[2]
-        a = strip_wall(check_document(a_path))
-        b = strip_wall(check_document(b_path))
+        a = strip_wall(check_document(a_path, strict))
+        b = strip_wall(check_document(b_path, strict))
         if a != b:
             fail(
                 a_path,
@@ -165,8 +213,9 @@ def main(argv):
     if not argv:
         fail("usage", "expected at least one BENCH_*.json path")
     for path in argv:
-        doc = check_document(path)
-        print(f"OK: {path} ({doc['suite']}, {len(doc['rows'])} rows)")
+        doc = check_document(path, strict)
+        mode = " [strict]" if strict else ""
+        print(f"OK: {path} ({doc['suite']}, {len(doc['rows'])} rows){mode}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,76 @@
+// celect_lint CLI driver.
+//
+//   celect_lint [--root=src] [--json=PATH] [--list-rules] [--quiet]
+//
+// Exit codes: 0 = clean (warnings allowed), 1 = unsuppressed errors,
+// 2 = usage / IO failure.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: celect_lint [--root=DIR] [--json=PATH] [--list-rules]"
+     << " [--quiet]\n"
+     << "  --root=DIR    directory to lint (default: src)\n"
+     << "  --json=PATH   also write findings as JSON to PATH\n"
+     << "  --list-rules  print every rule id and exit\n"
+     << "  --quiet       suppress the summary line\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : celect::lint::RuleIds()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else {
+      std::cerr << "celect_lint: unknown argument: " << arg << "\n";
+      return Usage(std::cerr, 2);
+    }
+  }
+
+  celect::lint::LintResult result = celect::lint::LintTree(root);
+  if (result.files_scanned == 0) {
+    std::cerr << "celect_lint: no .h/.cpp files under \"" << root
+              << "\" — wrong --root?\n";
+    return 2;
+  }
+  for (const celect::lint::Finding& f : result.findings) {
+    std::cout << celect::lint::FormatFinding(f) << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "celect_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << celect::lint::FindingsJson(result);
+  }
+  if (!quiet) {
+    std::cout << "celect_lint: " << result.files_scanned
+              << " files scanned, " << result.ErrorCount() << " error(s), "
+              << result.WarningCount() << " warning(s)\n";
+  }
+  return result.HasErrors() ? 1 : 0;
+}
