@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       "extra = app run − plain election; paper: Θ(N) messages, O(1) "
       "time.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
       std::cout, "E14b (global max over protocol G, no SoD)",
       "query + report + result rounds on top of G at k = log N.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 512;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(512);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     auto input_of = [](sim::NodeId addr) {

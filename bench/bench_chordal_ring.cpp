@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       "on the complete network. Single base node: the chordal run is "
       "tightly 2N + O(log N) messages.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(2048);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 32; n <= n_max; n *= 2) {
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
       "With r base nodes the sweep costs N-ish plus r·log N routing "
       "hops.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {

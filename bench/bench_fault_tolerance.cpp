@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       std::cout, "E11b (N sweep at f = 8)",
       "Time stays O(N/log N) despite the failures.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {

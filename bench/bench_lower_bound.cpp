@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       "O(N log N)). time must sit above the N/16d floor, and the gap "
       "shows how close G runs to optimal.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(2048);
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) sizes.push_back(n);
     std::vector<adversary::LowerBoundResult> results(sizes.size());

@@ -32,7 +32,10 @@ int main(int argc, char** argv) {
   harness::PrintBanner(std::cout, "E7 (protocol D)",
                        "Flooding: constant time, quadratic messages.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    // Default ceiling 4096: the ladder queue holds its event rate flat
+    // where the old binary heap collapsed ~10x past N=128 (see
+    // EXPERIMENTS.md E18). --nmax raises it further.
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(4096);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 32; n <= n_max; n *= 2) {
@@ -103,7 +106,7 @@ int main(int argc, char** argv) {
       std::cout, "E9b (protocol F, N sweep at k = log N)",
       "The message-optimal point: O(N log N) messages, O(N/log N) time.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       "the largest number of messages one directed link carried — the "
       "congestion the throttle eliminates.");
   {
-    const std::uint32_t n_max = env.quick() ? 128 : 512;
+    const std::uint32_t n_max = env.quick() ? 128 : env.EffectiveNMax(512);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 32; n <= n_max; n *= 2) {
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
       "Θ(N), unit spacing serialises them); the Ɛ throttle keeps one "
       "outstanding and resolves the strongest first.");
   {
-    const std::uint32_t n_max = env.quick() ? 128 : 512;
+    const std::uint32_t n_max = env.quick() ? 128 : env.EffectiveNMax(512);
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 32; n <= n_max; n *= 2) sizes.push_back(n);
     // The adaptive funnel mapper needs a custom NetworkConfig, so this
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
       std::cout, "E8b (Ɛ message complexity)",
       "Ɛ alone (walk to level N-1): O(N log N) messages, O(N) time.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       "fails and its time drifts toward Θ(N); G's first-phase ordering "
       "caps it at O(N/k). k = 16.");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 1024;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
     std::vector<SweepPoint> grid;
     std::vector<std::uint32_t> sizes;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
       "The message-optimal point: O(N log N) messages and O(N/log N) "
       "time — tight against Theorem 5.1's Ω(N/log N).");
   {
-    const std::uint32_t n_max = env.quick() ? 256 : 2048;
+    const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(2048);
     std::vector<SweepPoint> grid;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
     for (std::uint32_t n = 64; n <= n_max; n *= 2) {

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   harness::BenchEnv env(argc, argv, "E2");
 
-  const std::uint32_t n_max = env.quick() ? 256 : 2048;
+  const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(2048);
   std::vector<SweepPoint> grid;
   std::vector<std::uint32_t> sizes;
   for (std::uint32_t n = 32; n <= n_max; n *= 2) {

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
                  "dominates for k << sqrt(N) = 32)\n";
   }
 
-  const std::uint32_t chain_max = env.quick() ? 256 : 1024;
+  const std::uint32_t chain_max = env.quick() ? 256 : env.EffectiveNMax(1024);
   std::vector<SweepPoint> chain_grid;
   std::vector<std::uint32_t> chain_sizes;
   for (std::uint32_t n = 64; n <= chain_max; n *= 2) {

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       "C = stride walk (candidates -> N/logN) + doubling: O(N) messages "
       "and O(log N) time. Columns compare C, LMW86 and B per N.");
 
-  const std::uint32_t n_max = env.quick() ? 256 : 4096;
+  const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(4096);
   std::vector<SweepPoint> grid;
   std::vector<std::uint32_t> sizes;
   for (std::uint32_t n = 32; n <= n_max; n *= 2) {

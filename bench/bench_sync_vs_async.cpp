@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       "under worst-case delays. gap = async_time / sync_rounds; theory "
       "predicts it grows like N/(log N)^2.");
 
-  const std::uint32_t n_max = env.quick() ? 256 : 1024;
+  const std::uint32_t n_max = env.quick() ? 256 : env.EffectiveNMax(1024);
   std::vector<std::uint32_t> sizes;
   for (std::uint32_t n = 64; n <= n_max; n *= 2) sizes.push_back(n);
   struct Point {

@@ -109,6 +109,15 @@ class ElectionAppProcess : public sim::Process {
     void MaxCounter(std::string_view name, std::int64_t value) override {
       real_.MaxCounter(name, value);
     }
+    sim::CounterRef ResolveCounter(std::string_view name) override {
+      return real_.ResolveCounter(name);
+    }
+    void AddCounter(const sim::CounterRef& c, std::int64_t delta) override {
+      real_.AddCounter(c, delta);
+    }
+    void MaxCounter(const sim::CounterRef& c, std::int64_t value) override {
+      real_.MaxCounter(c, value);
+    }
 
    private:
     ElectionAppProcess& app_;

@@ -187,6 +187,10 @@ BenchEnv::BenchEnv(int argc, const char* const* argv, std::string suite)
       "write BENCH_" + reporter_.suite() + ".json-style results here");
   quick_ = flags.GetBool("quick", false,
                          "shrink sweep grids for CI smoke runs");
+  nmax_ = static_cast<std::uint32_t>(flags.GetInt(
+      "nmax", 0,
+      "largest N for size sweeps (0 = suite default); suites that sweep "
+      "N grow their grid up to this ceiling"));
   trace_path_ = flags.GetString(
       "trace", "",
       "write a Perfetto trace of one representative run here");

@@ -123,6 +123,16 @@ class BenchEnv {
 
   std::uint32_t threads() const { return threads_; }
   bool quick() const { return quick_; }
+  // Ceiling for suite size sweeps: the largest N a suite should grow its
+  // grid to, when the suite supports scaling (0 = the suite's built-in
+  // default). The ladder-queue rework made N in the tens of thousands
+  // affordable, so the ceiling is a flag rather than a constant.
+  std::uint32_t nmax() const { return nmax_; }
+  // The suite's effective ceiling: the flag when given, else the
+  // suite default passed in.
+  std::uint32_t EffectiveNMax(std::uint32_t suite_default) const {
+    return nmax_ == 0 ? suite_default : nmax_;
+  }
   const std::string& trace_path() const { return trace_path_; }
   bool telemetry() const { return telemetry_; }
   SweepOptions sweep() const { return SweepOptions{threads_}; }
@@ -137,6 +147,7 @@ class BenchEnv {
   std::string json_path_;
   std::string trace_path_;
   std::uint32_t threads_ = 1;
+  std::uint32_t nmax_ = 0;
   bool quick_ = false;
   bool telemetry_ = false;
 };

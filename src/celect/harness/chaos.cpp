@@ -85,6 +85,7 @@ ChaosCaseResult RunChaosCase(const sim::ProcessFactory& factory,
   sim::RuntimeOptions rt;
   rt.max_events = opt.max_events;
   rt.enable_telemetry = opt.enable_telemetry;
+  rt.use_reference_queue = opt.reference_queue;
   if (opt.check_invariants) rt.observer = &registry;
   sim::Runtime runtime(BuildNetwork(ro), factory, rt);
   out.result = runtime.Run();

@@ -61,6 +61,9 @@ struct ChaosOptions {
   // Collect per-run obs::Telemetry (latency/queue-depth/capture-width
   // histograms); SweepChaos merges them in seed order.
   bool enable_telemetry = false;
+  // Run on the reference binary-heap event queue (equivalence tests and
+  // divergence bisection; see RunOptions::reference_queue).
+  bool reference_queue = false;
 };
 
 // Derives the run's fault plan from the seed: distinct crash victims with

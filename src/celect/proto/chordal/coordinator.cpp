@@ -77,7 +77,11 @@ class ChordalNode : public ElectionProcess {
              std::uint32_t remaining) {
     CELECT_DCHECK(remaining >= 1);
     std::uint32_t hop = ring_.FirstHop(remaining);
-    ctx.AddCounter(kCounterRoutingHops, 1);
+    // Per-hop accounting — record through the interned ref.
+    if (hops_ref_.slot == sim::CounterRef::kUnresolved) {
+      hops_ref_ = ctx.ResolveCounter(kCounterRoutingHops);
+    }
+    ctx.AddCounter(hops_ref_, 1);
     if (type == kStart) {
       ctx.Send(hop, Packet{kStart,
                            {static_cast<std::int64_t>(remaining - hop)}});
@@ -165,6 +169,9 @@ class ChordalNode : public ElectionProcess {
   const std::uint32_t position_;
   const Id id_;
   topo::ChordalRing ring_;
+  // Interned per-hop counter handle, resolved on the first routed hop.
+  sim::CounterRef hops_ref_{kCounterRoutingHops,
+                            sim::CounterRef::kUnresolved};
 
   bool resolve_started_ = false;
   bool is_root_ = false;

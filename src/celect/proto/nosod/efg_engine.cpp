@@ -463,16 +463,21 @@ class EfgNode : public ElectionProcess {
   // ---- Forwarding at captured nodes ----------------------------------
 
   void EnqueueContender(Context& ctx, Contender c) {
+    // Fires on every forwarded contender — record through the interned
+    // ref, not the string path.
+    if (fwd_peak_ref_.slot == sim::CounterRef::kUnresolved) {
+      fwd_peak_ref_ = ctx.ResolveCounter(kCounterFwdQueuePeak);
+    }
     if (!params_.throttle_forwards) {
       // Raw AG85: forward immediately; replies match in FIFO order.
       fifo_.push_back(c);
-      ctx.MaxCounter(kCounterFwdQueuePeak,
+      ctx.MaxCounter(fwd_peak_ref_,
                      static_cast<std::int64_t>(fifo_.size()));
       ctx.Send(owner_port_, Packet{kFFwd, {c.id, c.level}});
       return;
     }
     pending_.push_back(c);
-    ctx.MaxCounter(kCounterFwdQueuePeak,
+    ctx.MaxCounter(fwd_peak_ref_,
                    static_cast<std::int64_t>(pending_.size()));
     PumpForward(ctx);
   }
@@ -592,7 +597,7 @@ class EfgNode : public ElectionProcess {
     // with) it.
     ClosePhaseSpans(ctx);
     ctx.BeginPhase(obs::PhaseId::kBroadcast);
-    ctx.AddCounter(kCounterBroadcasters, 1);
+    ctx.AddCounter(ctx.ResolveCounter(kCounterBroadcasters), 1);
     if (Ft() && bc_timer_ == sim::kInvalidTimer) {
       bc_timer_ = ctx.SetTimer(kRecoveryPeriod);
     }
@@ -1214,6 +1219,11 @@ class EfgNode : public ElectionProcess {
   std::vector<Contender> pending_;
   std::optional<Contender> inflight_;
   std::deque<Contender> fifo_;  // unthrottled mode
+  // Interned handle for the per-forward queue-peak gauge, resolved on
+  // first use (contexts without a metrics backend leave it unresolved
+  // and the record falls back to the string path).
+  sim::CounterRef fwd_peak_ref_{kCounterFwdQueuePeak,
+                                sim::CounterRef::kUnresolved};
 
   // Broadcast state.
   std::unordered_set<Port> elect_ports_;

@@ -147,12 +147,17 @@ class ProtocolANode : public ElectionProcess {
 
   void HandleCapture(Context& ctx, Port from_port, Id sender,
                      std::int64_t sender_level) {
+    // One record per capture attempt network-wide — use interned refs.
+    if (captures_ref_.slot == sim::CounterRef::kUnresolved) {
+      captures_ref_ = ctx.ResolveCounter(kCounterCaptures);
+      ignored_ref_ = ctx.ResolveCounter(kCounterIgnored);
+    }
     if (!is_base() || captured_) {
       // Passive or already-captured nodes accept freely with level 0 —
       // their own conquests (if any) were already surrendered.
       captured_ = true;
       SetOwner(from_port, sender);
-      ctx.AddCounter(kCounterCaptures, 1);
+      ctx.AddCounter(captures_ref_, 1);
       ctx.Send(from_port, Packet{kAAccept, {0}});
       return;
     }
@@ -161,10 +166,10 @@ class ProtocolANode : public ElectionProcess {
       captured_ = true;
       CloseSpans(ctx);
       SetOwner(from_port, sender);
-      ctx.AddCounter(kCounterCaptures, 1);
+      ctx.AddCounter(captures_ref_, 1);
       ctx.Send(from_port, Packet{kAAccept, {level_}});
     } else {
-      ctx.AddCounter(kCounterIgnored, 1);
+      ctx.AddCounter(ignored_ref_, 1);
       ctx.Send(from_port, Packet{kAReject, {}});
     }
   }
@@ -183,7 +188,7 @@ class ProtocolANode : public ElectionProcess {
     phase_ = Phase::kOwnerRound;
     ctx.EndPhase(obs::PhaseId::kCapture1);
     ctx.BeginPhase(obs::PhaseId::kCapture2);
-    ctx.AddCounter(kCounterPhase2, 1);
+    ctx.AddCounter(ctx.ResolveCounter(kCounterPhase2), 1);
     pending_acks_ = k_;
     for (Port d = 1; d <= k_; ++d) {
       ctx.Send(d, Packet{kAOwner, {id_}});
@@ -295,6 +300,11 @@ class ProtocolANode : public ElectionProcess {
   const bool awaken_neighbors_;
 
   Phase phase_ = Phase::kIdle;
+  // Interned counter handles, resolved on first capture traffic.
+  sim::CounterRef captures_ref_{kCounterCaptures,
+                                sim::CounterRef::kUnresolved};
+  sim::CounterRef ignored_ref_{kCounterIgnored,
+                               sim::CounterRef::kUnresolved};
   bool captured_ = false;
   bool dead_ = false;
   bool declared_ = false;

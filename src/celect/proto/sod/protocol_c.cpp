@@ -159,7 +159,7 @@ class ProtocolCNode : public ElectionProcess {
     phase_ = Phase::kOwnerRound;
     ctx.EndPhase(obs::PhaseId::kCapture1);
     ctx.BeginPhase(obs::PhaseId::kCapture2);
-    ctx.AddCounter(kCounterClassWinners, 1);
+    ctx.AddCounter(ctx.ResolveCounter(kCounterClassWinners), 1);
     pending_ = class_size_ - 1;
     for (std::uint64_t d = k_; d + k_ <= n_; d += k_) {
       ctx.Send(static_cast<Port>(d), Packet{kCOwner, {id_}});

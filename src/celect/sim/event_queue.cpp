@@ -1,56 +1,306 @@
 #include "celect/sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "celect/util/check.h"
 
 namespace celect::sim {
 
-// GCC 12's -Wmaybe-uninitialized misfires on std::push_heap/pop_heap/
-// make_heap here: the algorithms hold a moved-to `__value` temporary, and
-// the optimizer cannot prove the vector members inside Event's variant
-// alternative were initialized before the move-assign writes them back
-// (GCC PR 105562 family). Every element the algorithms touch is a fully
-// constructed Event, so the warning is spurious.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
+namespace {
+
+// Min-heap ordering for the far region: earliest (at, seq) on top.
+struct HandleAfterFar {
+  template <typename H>
+  bool operator()(const H& a, const H& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+EventQueue::EventQueue() : l0_(kL0), l1_(kL1), l1_tick_(kL1, kMixedTick) {}
+
+std::size_t EventQueue::ScanBits(const Bits& b, std::size_t from) {
+  if (from >= kL0) return kNpos;
+  std::size_t w = from >> 6;
+  std::uint64_t word = b[w] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    if (++w == kWords) return kNpos;
+    word = b[w];
+  }
+}
+
+std::uint32_t EventQueue::AllocSlot(Time at, std::uint64_t seq,
+                                    EventBody&& body) {
+  std::uint32_t i;
+  if (free_head_ != kNoSlot) {
+    i = free_head_;
+  } else {
+    i = slot_count_++;
+    const std::uint32_t j = i + kChunk0;
+    if ((j & (j - 1)) == 0) {
+      // i opens chunk c with base 2^(kChunk0Bits + c) == j; the chunk's
+      // capacity equals its base.
+      chunks_.push_back(std::make_unique<Slot[]>(j));
+    }
+  }
+  Slot& s = SlotAt(i);
+  free_head_ = s.next_free;
+  s.ev.at = at;
+  s.ev.seq = seq;
+  s.ev.body = std::move(body);
+  s.dead = false;
+  s.next_free = kNoSlot;
+  return i;
+}
+
+void EventQueue::FreeSlot(std::uint32_t slot) {
+  Slot& s = SlotAt(slot);
+  s.ev.seq = kFreeSeq;
+  s.dead = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::AppendL0(const Handle& h, bool from_far) {
+  const std::size_t idx = static_cast<std::size_t>(h.at) & (kL0 - 1);
+  std::vector<Handle>& b = l0_[idx];
+  // A far drain landing behind already-scattered same-instant handles can
+  // carry lower seqs; flag the bucket for a one-time sort before serving.
+  if (from_far && !b.empty()) SetBit(l0_sort_, idx);
+  b.push_back(h);
+  SetBit(l0_bits_, idx);
+}
+
+void EventQueue::Place(const Handle& h) {
+  CELECT_DCHECK(h.at >= 0) << "event scheduled at negative time";
+  const std::uint64_t blk = static_cast<std::uint64_t>(h.at) >> kBlockBits;
+  if (blk == cur_block_) {
+    AppendL0(h, /*from_far=*/false);
+    return;
+  }
+  CELECT_DCHECK(blk > cur_block_) << "push into an already-served block";
+  if (blk - cur_block_ <= kL1) {
+    const std::size_t idx = static_cast<std::size_t>(blk & (kL1 - 1));
+    std::vector<Handle>& b = l1_[idx];
+    if (b.empty()) {
+      l1_tick_[idx] = h.at;
+    } else if (l1_tick_[idx] != h.at) {
+      l1_tick_[idx] = kMixedTick;
+    }
+    b.push_back(h);
+    SetBit(l1_bits_, idx);
+    return;
+  }
+  far_.push_back(h);
+  std::push_heap(far_.begin(), far_.end(), HandleAfterFar{});
+}
 
 std::uint64_t EventQueue::Push(Time at, EventBody body) {
-  std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{at, seq, std::move(body)});
-  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
-  return seq;
+  return PushTicketed(at, std::move(body)).seq;
+}
+
+EventTicket EventQueue::PushTicketed(Time at, EventBody body) {
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = AllocSlot(at, seq, std::move(body));
+  Place(Handle{at.ticks(), seq, slot});
+  ++live_;
+  snapshot_dirty_ = true;
+  return EventTicket{seq, slot};
+}
+
+void EventQueue::Cancel(const EventTicket& t) {
+  if (t.slot >= slot_count_) return;
+  Slot& s = SlotAt(t.slot);
+  if (s.ev.seq != t.seq || s.dead) return;  // already popped / cancelled
+  s.dead = true;
+  CELECT_DCHECK(live_ > 0);
+  --live_;
+  ++dead_;
+}
+
+std::optional<std::uint64_t> EventQueue::NextL1Block() const {
+  // The wheel holds blocks (cur_block_, cur_block_ + kL1]; scan ring
+  // indices in that circular order and map the first hit back to its
+  // absolute block.
+  const std::size_t start =
+      static_cast<std::size_t>((cur_block_ + 1) & (kL1 - 1));
+  std::size_t idx = ScanBits(l1_bits_, start);
+  if (idx == kNpos) {
+    idx = ScanBits(l1_bits_, 0);
+    if (idx == kNpos || idx >= start) return std::nullopt;
+  }
+  const std::uint64_t base = cur_block_ & ~static_cast<std::uint64_t>(kL1 - 1);
+  std::uint64_t blk = base + idx;
+  if (blk <= cur_block_) blk += kL1;
+  return blk;
+}
+
+bool EventQueue::AdvanceBlock() {
+  const std::optional<std::uint64_t> lb = NextL1Block();
+  std::optional<std::uint64_t> fb;
+  if (!far_.empty()) {
+    fb = static_cast<std::uint64_t>(far_.front().at) >> kBlockBits;
+  }
+  if (!lb && !fb) return false;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t b = std::min(lb.value_or(kMax), fb.value_or(kMax));
+  CELECT_DCHECK(b > cur_block_);
+  cur_block_ = b;
+  cur_bucket_ = 0;
+  cur_pos_ = 0;
+  if (lb && *lb == b) {
+    const std::size_t idx = static_cast<std::size_t>(b & (kL1 - 1));
+    std::vector<Handle>& src = l1_[idx];
+    const std::int64_t tick = l1_tick_[idx];
+    const std::size_t l0i =
+        tick >= 0 ? static_cast<std::size_t>(tick) & (kL0 - 1) : 0;
+    if (tick >= 0 && !src.empty() && l0_[l0i].empty()) {
+      // Every handle in the bucket shares one instant (and was appended
+      // in seq order), so the whole bucket becomes the L0 bucket by a
+      // vector swap — no per-handle copying. Stale (taken) handles ride
+      // along; Pop skips them by seq, exactly as it does after a scatter.
+      l0_[l0i].swap(src);
+      SetBit(l0_bits_, l0i);
+    } else {
+      for (const Handle& h : src) {
+        if (SlotAt(h.slot).ev.seq != h.seq) continue;  // taken; drop stale
+        AppendL0(h, /*from_far=*/false);
+      }
+      src.clear();
+    }
+    ClearBit(l1_bits_, idx);
+  }
+  while (!far_.empty() &&
+         (static_cast<std::uint64_t>(far_.front().at) >> kBlockBits) == b) {
+    std::pop_heap(far_.begin(), far_.end(), HandleAfterFar{});
+    const Handle h = far_.back();
+    far_.pop_back();
+    if (SlotAt(h.slot).ev.seq != h.seq) continue;  // taken; drop stale
+    AppendL0(h, /*from_far=*/true);
+  }
+  return true;
 }
 
 std::optional<Event> EventQueue::Pop() {
-  if (heap_.empty()) return std::nullopt;
-  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-  Event e = std::move(heap_.back());
-  heap_.pop_back();
-  return e;
+  for (;;) {
+    std::vector<Handle>& b = l0_[cur_bucket_];
+    if (cur_pos_ == 0 && TestBit(l0_sort_, cur_bucket_) && b.size() > 1) {
+      // One instant per bucket: restoring seq order restores (at, seq).
+      std::sort(b.begin(), b.end(),
+                [](const Handle& x, const Handle& y) { return x.seq < y.seq; });
+    }
+    if (cur_pos_ == 0) ClearBit(l0_sort_, cur_bucket_);
+    while (cur_pos_ < b.size()) {
+      const Handle h = b[cur_pos_++];
+      // Pull the next slot toward the caches while the caller dispatches
+      // this event — same-instant slots are not generally adjacent.
+      if (cur_pos_ < b.size()) {
+        __builtin_prefetch(&SlotAt(b[cur_pos_].slot), 1, 1);
+      }
+      Slot& s = SlotAt(h.slot);
+      if (s.ev.seq != h.seq) continue;  // taken; stale handle
+      const bool was_dead = s.dead;
+      Event e = std::move(s.ev);
+      FreeSlot(h.slot);
+      if (was_dead) {
+        --dead_;
+      } else {
+        CELECT_DCHECK(live_ > 0);
+        --live_;
+      }
+      snapshot_dirty_ = true;
+      return e;
+    }
+    b.clear();
+    ClearBit(l0_bits_, cur_bucket_);
+    cur_pos_ = 0;
+    const std::size_t next = ScanBits(l0_bits_, cur_bucket_ + 1);
+    if (next != kNpos) {
+      cur_bucket_ = next;
+      continue;
+    }
+    if (!AdvanceBlock()) return std::nullopt;
+    const std::size_t first = ScanBits(l0_bits_, 0);
+    cur_bucket_ = first == kNpos ? 0 : first;
+  }
 }
 
 Time EventQueue::PeekTime() const {
-  CELECT_CHECK(!heap_.empty());
-  return heap_.front().at;
+  CELECT_CHECK(Size() > 0) << "PeekTime on a queue with no live events";
+  // L0: buckets are single instants in time order — the first live handle
+  // found is the earliest.
+  for (std::size_t i = ScanBits(l0_bits_, cur_bucket_); i != kNpos;
+       i = ScanBits(l0_bits_, i + 1)) {
+    const std::vector<Handle>& b = l0_[i];
+    const std::size_t start = i == cur_bucket_ ? cur_pos_ : 0;
+    // An unsorted (far-drained) bucket still holds one instant only, so
+    // any live handle in it yields the bucket's time.
+    for (std::size_t j = start; j < b.size(); ++j) {
+      if (HandleLive(b[j])) return Time::FromTicks(b[j].at);
+    }
+  }
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // L1: blocks in circular (time) order; the first block with a live
+  // handle bounds every later block, but the far heap may still undercut
+  // it, so keep scanning far below.
+  const std::size_t start =
+      static_cast<std::size_t>((cur_block_ + 1) & (kL1 - 1));
+  for (std::size_t step = 0; step < kL1; ++step) {
+    const std::size_t idx = (start + step) & (kL1 - 1);
+    if (!TestBit(l1_bits_, idx)) continue;
+    bool any = false;
+    for (const Handle& h : l1_[idx]) {
+      if (HandleLive(h) && h.at < best) {
+        best = h.at;
+        any = true;
+      }
+    }
+    if (any) break;
+  }
+  for (const Handle& h : far_) {
+    if (HandleLive(h) && h.at < best) best = h.at;
+  }
+  CELECT_CHECK(best != std::numeric_limits<std::int64_t>::max());
+  return Time::FromTicks(best);
+}
+
+const std::vector<Event>& EventQueue::events() const {
+  if (snapshot_dirty_) {
+    snapshot_.clear();
+    for (std::uint32_t i = 0; i < slot_count_; ++i) {
+      const Slot& s = SlotAt(i);
+      if (s.ev.seq != kFreeSeq) snapshot_.push_back(s.ev);
+    }
+    snapshot_dirty_ = false;
+  }
+  return snapshot_;
 }
 
 Event EventQueue::Take(std::uint64_t seq) {
-  auto it = std::find_if(heap_.begin(), heap_.end(),
-                         [seq](const Event& e) { return e.seq == seq; });
-  CELECT_CHECK(it != heap_.end()) << "Take: no pending event with seq "
-                                  << seq;
-  Event e = std::move(*it);
-  *it = std::move(heap_.back());
-  heap_.pop_back();
-  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
-  return e;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot& s = SlotAt(i);
+    if (s.ev.seq != seq) continue;
+    const bool was_dead = s.dead;
+    Event e = std::move(s.ev);
+    FreeSlot(static_cast<std::uint32_t>(i));
+    if (was_dead) {
+      --dead_;
+    } else {
+      CELECT_DCHECK(live_ > 0);
+      --live_;
+    }
+    snapshot_dirty_ = true;
+    return e;
+  }
+  CELECT_CHECK(false) << "Take: no pending event with seq " << seq;
+  __builtin_unreachable();
 }
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace celect::sim

@@ -1,18 +1,48 @@
-// Deterministic priority event queue.
+// Deterministic priority event queue — ladder/timing-wheel edition.
 //
-// A binary heap over a flat vector that stamps every pushed event with a
-// monotone sequence number, guaranteeing a total, reproducible order even
-// among events scheduled for the same instant.
+// The simulator's previous queue was a binary heap over a flat vector of
+// full Event values: every push sifted ~100-byte events (each carrying a
+// heap-allocated packet) through O(log n) moves, and past N≈128 the heap
+// fell out of cache and throughput collapsed ~10x (BENCH_E7.json). This
+// queue replaces it with a three-region ladder over an arena:
+//
+//   * events live once, in a pooled slot arena, and never move again;
+//     the regions shuffle 24-byte {at, seq, slot} handles instead;
+//   * L0 — the serving block: 4096 width-one-tick buckets covering the
+//     4096-tick block that contains the current serve position. A bucket
+//     holds same-instant events in push (= seq) order, so serving is a
+//     linear scan with no comparisons;
+//   * L1 — a 4096-block wheel (one bucket per 4096-tick block, ~16 sim
+//     units of horizon) fed by direct pushes; a whole bucket scatters
+//     into L0 when serving reaches its block;
+//   * far — a small binary min-heap of handles for events beyond the
+//     wheel horizon (deep FIFO backlogs, long leases); drained into L0
+//     block by block as serving catches up.
+//
+// Total order is identical to the old heap: (at, seq) ascending, seq
+// stamped monotonically at push. Buckets receive handles in seq order by
+// construction; the one case that can break per-instant order — a far
+// drain landing in a bucket that already holds scattered handles — marks
+// the bucket for a one-time sort before it is served.
+//
+// Cancelled timers are lazy-deleted tombstones: Cancel() marks the slot
+// dead so Size()/PeekTime() see only live events (the live-count
+// bugfix), but the event still pops in order and the runtime discards it
+// at dispatch — bit-identical event accounting with the reference heap.
 //
 // Controlled scheduling (the analysis explorer) needs to dispatch pending
 // events in an order of its own choosing rather than time order, so the
-// queue also exposes its raw storage (`events()`, heap order — callers
-// must not assume anything beyond "these are the pending events") and
-// removal of an arbitrary element (`Take`). Taking from the middle
-// re-heapifies in O(n); exploration runs are tiny, the simulator's hot
-// path never calls it.
+// queue also exposes the pending set (`events()`, a lazily rebuilt
+// snapshot in unspecified order — callers must not assume anything beyond
+// "these are the pending events") and removal of an arbitrary element
+// (`Take`). Both are O(n) — exploration runs are tiny, the simulator's
+// hot path never calls them.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -20,33 +50,155 @@
 
 namespace celect::sim {
 
+// Handle to a pending (cancellable) event — returned by PushTicketed,
+// consumed by Cancel. `slot` addresses the arena; `seq` guards against
+// slot reuse.
+struct EventTicket {
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0xFFFFFFFFu;
+};
+
 class EventQueue {
  public:
-  // Schedules `body` at absolute time `at`. Returns the sequence number
-  // assigned to the event.
+  EventQueue();
+
+  // Schedules `body` at absolute time `at` (non-negative ticks). Returns
+  // the sequence number assigned to the event.
   std::uint64_t Push(Time at, EventBody body);
 
-  // Pops the earliest event; nullopt when empty.
+  // Push that also returns a cancellation ticket (timers).
+  EventTicket PushTicketed(Time at, EventBody body);
+
+  // Marks a pending event as a tombstone: it no longer counts toward
+  // Size()/PeekTime(), but still pops in order (the runtime discards it
+  // at dispatch — exactly the pre-ladder accounting, so fingerprints are
+  // unchanged). No-op if the event already popped.
+  void Cancel(const EventTicket& t);
+
+  // Pops the earliest pending event (tombstones included); nullopt when
+  // the queue is physically empty.
   std::optional<Event> Pop();
 
-  bool Empty() const { return heap_.empty(); }
-  std::size_t Size() const { return heap_.size(); }
+  // Physically empty — no pending events, not even tombstones.
+  bool Empty() const { return live_ + dead_ == 0; }
+  // Live events only; cancelled-timer tombstones are excluded.
+  std::size_t Size() const { return live_; }
+  // Cancelled-but-unpopped events still occupying the queue.
+  std::size_t Tombstones() const { return dead_; }
   std::uint64_t total_pushed() const { return next_seq_; }
 
-  // Earliest scheduled time (queue must be non-empty).
+  // Earliest scheduled *live* event time (Size() must be > 0): a
+  // cancelled far-future timer no longer pins the horizon. O(pending) —
+  // diagnostic use, not a hot-path call.
   Time PeekTime() const;
 
-  // Pending events in unspecified (heap) order. Valid until the next
-  // mutation.
-  const std::vector<Event>& events() const { return heap_; }
+  // Pending events (tombstones included, matching the reference heap) in
+  // unspecified order. Lazily rebuilt snapshot; valid until the next
+  // mutation. O(n) — controlled scheduling only.
+  const std::vector<Event>& events() const;
 
   // Removes and returns the pending event with sequence number `seq`
   // (CHECK-fails if absent). O(n) — controlled scheduling only.
   Event Take(std::uint64_t seq);
 
  private:
-  std::vector<Event> heap_;
+  // One 4096-tick block per L0 window / L1 wheel bucket.
+  static constexpr int kBlockBits = 12;
+  static constexpr std::size_t kL0 = std::size_t{1} << kBlockBits;
+  static constexpr std::size_t kL1 = std::size_t{1} << kBlockBits;
+  static constexpr std::size_t kWords = kL0 / 64;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  // Arena slots are freed by stamping this sentinel into ev.seq; a
+  // handle is stale (already taken) when its seq no longer matches.
+  static constexpr std::uint64_t kFreeSeq = ~std::uint64_t{0};
+
+  struct Handle {
+    std::int64_t at;  // ticks
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    Event ev;
+    std::uint32_t next_free = kNoSlot;
+    bool dead = false;  // cancelled (tombstone) but not yet popped
+  };
+
+  using Bits = std::array<std::uint64_t, kWords>;
+
+  // The arena is a run of geometrically growing chunks (1024 slots, then
+  // 1024, 2048, 4096, ...): slots never move (no vector-regrow copying of
+  // ~128-byte Slots, no 1.5x memory spike at million-event peaks) and
+  // indexing stays O(1). Slot i lives at chunk c = bit_width(i + kChunk0)
+  // - kChunk0Bits - 1, offset = (i + kChunk0) minus the chunk's base
+  // power of two.
+  static constexpr std::uint32_t kChunk0Bits = 10;
+  static constexpr std::uint32_t kChunk0 = 1u << kChunk0Bits;
+
+  Slot& SlotAt(std::uint32_t i) {
+    const std::uint32_t j = i + kChunk0;
+    const int c = std::bit_width(j) - kChunk0Bits - 1;
+    return chunks_[static_cast<std::size_t>(c)]
+                  [j ^ (std::uint32_t{1} << (kChunk0Bits + c))];
+  }
+  const Slot& SlotAt(std::uint32_t i) const {
+    return const_cast<EventQueue*>(this)->SlotAt(i);
+  }
+
+  static void SetBit(Bits& b, std::size_t i) {
+    b[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  static void ClearBit(Bits& b, std::size_t i) {
+    b[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  static bool TestBit(const Bits& b, std::size_t i) {
+    return (b[i >> 6] >> (i & 63)) & 1;
+  }
+  // First set bit at index >= from, or npos.
+  static std::size_t ScanBits(const Bits& b, std::size_t from);
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  std::uint32_t AllocSlot(Time at, std::uint64_t seq, EventBody&& body);
+  void FreeSlot(std::uint32_t slot);
+  bool HandleLive(const Handle& h) const {
+    const Slot& s = SlotAt(h.slot);
+    return s.ev.seq == h.seq && !s.dead;
+  }
+  // Routes a handle into L0 / L1 / far based on its block.
+  void Place(const Handle& h);
+  void AppendL0(const Handle& h, bool from_far);
+  // Moves serving to the next non-empty block (L1 scatter + far drain).
+  // False when nothing is pending anywhere past the current block.
+  bool AdvanceBlock();
+  // Next pending L1 block in circular (time) order, if any.
+  std::optional<std::uint64_t> NextL1Block() const;
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  // slots ever allocated (used prefix)
+  std::uint32_t free_head_ = kNoSlot;
+
+  std::vector<std::vector<Handle>> l0_;  // kL0 width-1-tick buckets
+  std::vector<std::vector<Handle>> l1_;  // kL1 block buckets
+  // The single tick every handle in l1_[i] shares, or kMixedTick. A
+  // uniform bucket scatters into L0 as one vector swap — the dominant
+  // case under unit delays, where a whole wave lands on one instant.
+  std::vector<std::int64_t> l1_tick_;
+  static constexpr std::int64_t kMixedTick = -1;
+  Bits l0_bits_{};   // non-empty L0 buckets
+  Bits l1_bits_{};   // non-empty L1 buckets
+  Bits l0_sort_{};   // L0 buckets needing a seq sort before serving
+  std::vector<Handle> far_;  // min-heap by (at, seq)
+
+  std::uint64_t cur_block_ = 0;   // block being served
+  std::size_t cur_bucket_ = 0;    // L0 bucket being served
+  std::size_t cur_pos_ = 0;       // next handle within that bucket
+
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+
+  mutable std::vector<Event> snapshot_;
+  mutable bool snapshot_dirty_ = true;
 };
 
 }  // namespace celect::sim

@@ -1,0 +1,116 @@
+// The original binary-heap event queue, kept as the reference
+// implementation for the ladder queue's fingerprint-equivalence gate
+// (RuntimeOptions::use_reference_queue, tests/test_queue_equivalence).
+//
+// A binary heap over a flat vector that stamps every pushed event with a
+// monotone sequence number, guaranteeing a total, reproducible order even
+// among events scheduled for the same instant. Pop order — (at, seq)
+// ascending — is exactly the ladder queue's, so a run driven by either
+// queue produces bit-identical results.
+//
+// Take() removes an arbitrary element for controlled scheduling; the
+// original re-heapified the whole vector with make_heap (O(n)) even when
+// the removed element was the tail — it now refills the hole from the
+// back and sifts the one displaced element up or down in O(log n).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "celect/sim/event.h"
+#include "celect/sim/event_queue.h"
+
+namespace celect::sim {
+
+class HeapEventQueue {
+ public:
+  // Schedules `body` at absolute time `at`. Returns the sequence number
+  // assigned to the event.
+  std::uint64_t Push(Time at, EventBody body);
+
+  // Ticketed push for API parity with EventQueue. The reference heap
+  // keeps no tombstone bookkeeping: Cancel is a no-op and Size() stays
+  // physical (cancelled timers pop and are discarded at dispatch, which
+  // is also where the ladder's accounting converges).
+  EventTicket PushTicketed(Time at, EventBody body) {
+    return EventTicket{Push(at, std::move(body)), 0};
+  }
+  void Cancel(const EventTicket&) {}
+
+  // Pops the earliest event; nullopt when empty.
+  std::optional<Event> Pop();
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+  std::size_t Tombstones() const { return 0; }
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+  // Earliest scheduled time (queue must be non-empty).
+  Time PeekTime() const;
+
+  // Pending events in unspecified (heap) order. Valid until the next
+  // mutation.
+  const std::vector<Event>& events() const { return heap_; }
+
+  // Removes and returns the pending event with sequence number `seq`
+  // (CHECK-fails if absent). O(n) find + O(log n) removal — controlled
+  // scheduling only.
+  Event Take(std::uint64_t seq);
+
+ private:
+  // Restores the heap property around index `i` after its element was
+  // replaced: sifts up if it beats its parent, down otherwise.
+  void SiftFromHole(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// The runtime's queue: the ladder by default, the reference heap when
+// RuntimeOptions::use_reference_queue asks for it (equivalence tests,
+// bisecting a suspected queue bug). One predictable branch per call —
+// both backends produce the same (at, seq) pop order, so the choice
+// never changes a run's result, only its speed.
+class DualQueue {
+ public:
+  explicit DualQueue(bool use_reference) : use_ref_(use_reference) {}
+
+  std::uint64_t Push(Time at, EventBody body) {
+    return use_ref_ ? ref_.Push(at, std::move(body))
+                    : ladder_.Push(at, std::move(body));
+  }
+  EventTicket PushTicketed(Time at, EventBody body) {
+    return use_ref_ ? ref_.PushTicketed(at, std::move(body))
+                    : ladder_.PushTicketed(at, std::move(body));
+  }
+  void Cancel(const EventTicket& t) {
+    if (use_ref_) {
+      ref_.Cancel(t);
+    } else {
+      ladder_.Cancel(t);
+    }
+  }
+  std::optional<Event> Pop() { return use_ref_ ? ref_.Pop() : ladder_.Pop(); }
+  bool Empty() const { return use_ref_ ? ref_.Empty() : ladder_.Empty(); }
+  std::size_t Size() const { return use_ref_ ? ref_.Size() : ladder_.Size(); }
+  std::size_t Tombstones() const {
+    return use_ref_ ? ref_.Tombstones() : ladder_.Tombstones();
+  }
+  std::uint64_t total_pushed() const {
+    return use_ref_ ? ref_.total_pushed() : ladder_.total_pushed();
+  }
+  Time PeekTime() const { return use_ref_ ? ref_.PeekTime() : ladder_.PeekTime(); }
+  const std::vector<Event>& events() const {
+    return use_ref_ ? ref_.events() : ladder_.events();
+  }
+  Event Take(std::uint64_t seq) {
+    return use_ref_ ? ref_.Take(seq) : ladder_.Take(seq);
+  }
+
+ private:
+  bool use_ref_;
+  EventQueue ladder_;
+  HeapEventQueue ref_;
+};
+
+}  // namespace celect::sim

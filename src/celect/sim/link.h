@@ -4,8 +4,18 @@
 // LinkTable tracks, for each directed pair that has actually carried
 // traffic, the arrival time of the last message and the count of messages
 // sent, and computes arrival times that respect FIFO and the delay
-// model's spacing choices. Storage is a hash map so memory is
-// O(messages), not O(N²).
+// model's spacing choices.
+//
+// Storage is probed on every send, so it is hot-path critical. Two modes:
+//
+//   * dense (N <= kDenseMaxN): a flat N x N array of 16-byte States,
+//     allocated lazily on first traffic — one indexed load per send, no
+//     hashing. 4096 nodes tops out at 256 MB, the deliberate ceiling.
+//   * sparse (large N): a power-of-two open-addressing table with linear
+//     probing (key = from * N + to; 0 is a natural empty sentinel since
+//     from == to never carries traffic). Memory stays O(links actually
+//     used) — a million-node protocol-C run touches O(N log N) pairs, not
+//     N².
 //
 // When a FaultPlan enables link faults, Admit draws from a dedicated
 // seeded RNG to decide, per message, whether it is lost (never arrives;
@@ -18,7 +28,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "celect/sim/delay_model.h"
 #include "celect/sim/fault.h"
@@ -39,6 +49,19 @@ struct Admission {
 
 class LinkTable {
  public:
+  // Largest N served by the dense per-pair array (N² x 16 B = 256 MB);
+  // beyond it the open-addressing table keeps memory O(used links).
+  static constexpr std::uint32_t kDenseMaxN = 4096;
+
+  // Opaque handle to one directed link's state from Touch(). Valid only
+  // until the next mutating call on a *different* pair (sparse growth
+  // rehashes) — use it immediately, don't store it.
+  class LinkRef {
+   private:
+    friend class LinkTable;
+    void* p = nullptr;
+  };
+
   explicit LinkTable(std::uint32_t n) : n_(n) {}
 
   // Turns on per-message fault draws with the given rates and RNG seed.
@@ -55,6 +78,17 @@ class LinkTable {
   // to Admit when faults are disabled.
   Admission AdmitWithFaults(NodeId from, NodeId to, Time send_time,
                             const DelayDecision& d);
+
+  // One-probe send path: finds (creating if absent) the from→to state
+  // once; the handle then serves both the delay model's sent-count query
+  // and the admission without re-probing the table. A fresh entry reads
+  // as sent == 0, exactly like the two-probe path.
+  LinkRef Touch(NodeId from, NodeId to);
+  std::uint64_t SentCount(const LinkRef& l) const {
+    return static_cast<const State*>(l.p)->sent;
+  }
+  Admission AdmitWithFaults(const LinkRef& l, NodeId from, NodeId to,
+                            Time send_time, const DelayDecision& d);
 
   // Messages sent so far on the directed link from→to (lost ones
   // included — they were sent and paid for).
@@ -80,19 +114,37 @@ class LinkTable {
  private:
   struct State {
     Time last_arrival = Time::Zero();
-    std::uint64_t sent = 0;
-    std::uint64_t inflight = 0;
+    std::uint32_t sent = 0;
+    std::uint32_t inflight = 0;
+  };
+  static_assert(sizeof(State) == 16);
+
+  struct FlatEntry {
+    std::uint64_t key = 0;  // 0 = empty (from == to carries no traffic)
+    State s;
   };
 
   std::uint64_t Key(NodeId from, NodeId to) const {
     return static_cast<std::uint64_t>(from) * n_ + to;
   }
 
+  bool dense() const { return n_ <= kDenseMaxN; }
+
+  // Find-or-insert (mutating path; allocates storage lazily).
+  State& Obtain(NodeId from, NodeId to);
+  // Lookup only; nullptr when the pair never carried traffic.
+  const State* Find(NodeId from, NodeId to) const;
+  void GrowSparse();
+
   // The FIFO-respecting admission core shared by both entry points.
   Time AdmitOrdered(State& s, Time send_time, const DelayDecision& d);
 
   std::uint32_t n_;
-  std::unordered_map<std::uint64_t, State> state_;
+  // Dense mode: n_ x n_ States, indexed by Key(); empty until first use.
+  std::vector<State> dense_;
+  // Sparse mode: open addressing, power-of-two capacity, linear probing.
+  std::vector<FlatEntry> sparse_;
+  std::size_t sparse_used_ = 0;
   std::uint64_t max_load_ = 0;
   std::uint64_t max_inflight_ = 0;
 

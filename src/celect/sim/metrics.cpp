@@ -2,15 +2,9 @@
 
 #include <algorithm>
 
+#include "celect/util/check.h"
+
 namespace celect::sim {
-
-void Metrics::RecordSend(std::uint16_t type, std::size_t bytes) {
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  ++by_type_[type];
-}
-
-void Metrics::RecordDelivery() { ++messages_delivered_; }
 
 void Metrics::RecordDrop(DropCause cause) {
   switch (cause) {
@@ -41,6 +35,8 @@ void Metrics::RecordTimerFired() { ++timers_fired_; }
 
 void Metrics::RecordTimerCancelled() { ++timers_cancelled_; }
 
+void Metrics::RecordLatencySaturated() { ++latency_saturated_; }
+
 void Metrics::RecordLeader(NodeId node, Id id, Time at) {
   if (leader_declarations_ == 0) {
     leader_node_ = node;
@@ -62,17 +58,53 @@ void Metrics::RecordWallClock(std::uint64_t ns, std::uint64_t events) {
              : 0.0;
 }
 
-void Metrics::AddCounter(const std::string& name, std::int64_t delta) {
-  counters_[name] += delta;
+std::uint32_t Metrics::InternCounter(std::string_view name) {
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  const auto slot = static_cast<std::uint32_t>(counter_cells_.size());
+  counter_cells_.push_back(CounterCell{std::string(name), 0, false});
+  counter_index_.emplace(counter_cells_.back().name, slot);
+  return slot;
 }
 
-void Metrics::MaxCounter(const std::string& name, std::int64_t value) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    counters_[name] = value;
-  } else {
-    it->second = std::max(it->second, value);
+void Metrics::AddCounter(std::uint32_t slot, std::int64_t delta) {
+  CELECT_DCHECK(slot < counter_cells_.size());
+  CounterCell& c = counter_cells_[slot];
+  c.value += delta;
+  c.touched = true;
+}
+
+void Metrics::MaxCounter(std::uint32_t slot, std::int64_t value) {
+  CELECT_DCHECK(slot < counter_cells_.size());
+  CounterCell& c = counter_cells_[slot];
+  // First record sets the cell outright — same as creating a map entry.
+  c.value = c.touched ? std::max(c.value, value) : value;
+  c.touched = true;
+}
+
+void Metrics::AddCounter(std::string_view name, std::int64_t delta) {
+  AddCounter(InternCounter(name), delta);
+}
+
+void Metrics::MaxCounter(std::string_view name, std::int64_t value) {
+  MaxCounter(InternCounter(name), value);
+}
+
+std::map<std::uint16_t, std::uint64_t> Metrics::by_type() const {
+  std::map<std::uint16_t, std::uint64_t> out;
+  for (std::size_t t = 0; t < by_type_.size(); ++t) {
+    if (by_type_[t] > 0) out.emplace(static_cast<std::uint16_t>(t),
+                                     by_type_[t]);
   }
+  return out;
+}
+
+std::map<std::string, std::int64_t> Metrics::counters() const {
+  std::map<std::string, std::int64_t> out;
+  for (const CounterCell& c : counter_cells_) {
+    if (c.touched) out.emplace(c.name, c.value);
+  }
+  return out;
 }
 
 }  // namespace celect::sim

@@ -1,12 +1,22 @@
 // Run accounting: message counts, bytes on the wire, per-type breakdown,
 // leader declarations, fault-injection tallies, and protocol-specific
 // counters.
+//
+// Protocol counters are interned: a name resolves once to a dense slot
+// (InternCounter), and the per-event hot path bumps a plain array cell —
+// no string hashing, no allocation. The string-keyed entry points remain
+// for cold callers and intern on the fly; either path lands in the same
+// cell, and counters() materialises only the cells that were actually
+// touched, preserving the original map semantics (a counter exists once
+// something recorded to it).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "celect/sim/time.h"
 #include "celect/sim/types.h"
@@ -22,8 +32,15 @@ enum class DropCause {
 
 class Metrics {
  public:
-  void RecordSend(std::uint16_t type, std::size_t bytes);
-  void RecordDelivery();
+  // The send/delivery tallies run once per simulated message — inline so
+  // the hot loop pays two increments, not a call.
+  void RecordSend(std::uint16_t type, std::size_t bytes) {
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+    if (type >= by_type_.size()) by_type_.resize(type + 1, 0);
+    ++by_type_[type];
+  }
+  void RecordDelivery() { ++messages_delivered_; }
   void RecordDrop(DropCause cause);
   void RecordDuplicate();
   void RecordReorder();
@@ -36,6 +53,11 @@ class Metrics {
   void RecordTimerSet();
   void RecordTimerFired();
   void RecordTimerCancelled();
+  // A DeliveryEvent's 32-bit latency field clipped at its ceiling — the
+  // telemetry histogram under-reports that delivery. Surfaced as
+  // counters["sim.latency_saturated"] so saturation is loud instead of
+  // silent.
+  void RecordLatencySaturated();
   void RecordLeader(NodeId node, Id id, Time at);
   // Per-cause invariant-violation tally (analysis/invariants.h kinds,
   // e.g. "multiple_leaders"). Mirrors the per-cause drop counters: zero
@@ -45,8 +67,16 @@ class Metrics {
   // of the run. Non-deterministic by nature: excluded from result
   // fingerprints, reported for throughput (events/sec) accounting only.
   void RecordWallClock(std::uint64_t ns, std::uint64_t events);
-  void AddCounter(const std::string& name, std::int64_t delta);
-  void MaxCounter(const std::string& name, std::int64_t value);
+
+  // Resolves `name` to a dense counter slot, creating it (untouched) on
+  // first sight. Stable for the lifetime of this Metrics. Call once at
+  // setup; then record through the slot overloads below.
+  std::uint32_t InternCounter(std::string_view name);
+  void AddCounter(std::uint32_t slot, std::int64_t delta);
+  void MaxCounter(std::uint32_t slot, std::int64_t value);
+  // String-keyed fallbacks: intern on the fly, then record. Cold path.
+  void AddCounter(std::string_view name, std::int64_t delta);
+  void MaxCounter(std::string_view name, std::int64_t value);
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
@@ -67,13 +97,14 @@ class Metrics {
   std::uint64_t timers_set() const { return timers_set_; }
   std::uint64_t timers_fired() const { return timers_fired_; }
   std::uint64_t timers_cancelled() const { return timers_cancelled_; }
+  std::uint64_t latency_saturated() const { return latency_saturated_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
-  const std::map<std::uint16_t, std::uint64_t>& by_type() const {
-    return by_type_;
-  }
-  const std::map<std::string, std::int64_t>& counters() const {
-    return counters_;
-  }
+  // Per-type send counts, materialised from the flat tally.
+  std::map<std::uint16_t, std::uint64_t> by_type() const;
+  // Touched protocol counters, materialised by name. A counter interned
+  // but never recorded to does not appear — same visibility rule as the
+  // original map-backed storage.
+  std::map<std::string, std::int64_t> counters() const;
   std::uint64_t invariant_violations() const {
     return invariant_violations_total_;
   }
@@ -90,6 +121,12 @@ class Metrics {
   double events_per_sec() const { return events_per_sec_; }
 
  private:
+  struct CounterCell {
+    std::string name;
+    std::int64_t value = 0;
+    bool touched = false;
+  };
+
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t dropped_to_crashed_ = 0;
@@ -102,9 +139,15 @@ class Metrics {
   std::uint64_t timers_set_ = 0;
   std::uint64_t timers_fired_ = 0;
   std::uint64_t timers_cancelled_ = 0;
+  std::uint64_t latency_saturated_ = 0;
   std::uint64_t bytes_sent_ = 0;
-  std::map<std::uint16_t, std::uint64_t> by_type_;
-  std::map<std::string, std::int64_t> counters_;
+  // Flat per-type send tally, grown on demand (packet types are small
+  // dense enums). One indexed add per send instead of a map walk.
+  std::vector<std::uint64_t> by_type_;
+  // Interned protocol counters: cells indexed by slot, name→slot lookup
+  // with heterogeneous find so string-keyed calls don't allocate.
+  std::vector<CounterCell> counter_cells_;
+  std::map<std::string, std::uint32_t, std::less<>> counter_index_;
   std::uint64_t invariant_violations_total_ = 0;
   std::map<std::string, std::uint64_t> invariant_violations_by_kind_;
   std::uint32_t leader_declarations_ = 0;

@@ -17,9 +17,9 @@
 // fresh ports from here.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "celect/sim/types.h"
@@ -54,10 +54,21 @@ class PortMapper {
   virtual bool IsTraversed(NodeId node, Port port) const = 0;
 };
 
-// Shared traversal bookkeeping: hash sets plus a monotone scan cursor, so
-// FreshPort is amortised O(1) and memory is O(traversed edges).
+// Shared traversal bookkeeping plus a monotone scan cursor, so FreshPort
+// is amortised O(1). MarkTraversed runs twice per message (send side and
+// arrival side), so the set is flat, not hashed:
+//
+//   * dense (N <= kDenseMaxN): one bitmap of N bits per node, the whole
+//     N x N block allocated lazily on the first mark — a mask-and-or per
+//     mark, 2 MB at the 4096-node ceiling;
+//   * sparse (large N): a single open-addressing table over (node, port)
+//     keys shared by all nodes — memory stays O(ports actually
+//     traversed), which for the paper's protocols is O(N log N) edges,
+//     not N².
 class PortMapperBase : public PortMapper {
  public:
+  static constexpr std::uint32_t kDenseMaxN = 4096;
+
   explicit PortMapperBase(std::uint32_t n);
 
   std::uint32_t n() const override { return n_; }
@@ -69,7 +80,21 @@ class PortMapperBase : public PortMapper {
   std::uint32_t n_;
 
  private:
-  std::vector<std::unordered_set<Port>> traversed_;
+  struct SparseKey {
+    std::uint64_t key = 0;  // 1 + node * n + port; 0 = empty
+  };
+
+  bool dense() const { return n_ <= kDenseMaxN; }
+  bool Contains(NodeId node, Port port) const;
+  void GrowSparse();
+
+  // Dense: n_ bitmap words per node (port bit index == port number),
+  // empty until the first mark.
+  std::size_t words_per_node_ = 0;
+  std::vector<std::uint64_t> bits_;
+  // Sparse: linear-probed table of traversed (node, port) pairs.
+  std::vector<SparseKey> sparse_;
+  std::size_t sparse_used_ = 0;
   std::vector<Port> cursor_;  // smallest possibly-untraversed port
 };
 

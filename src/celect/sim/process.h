@@ -31,6 +31,18 @@
 
 namespace celect::sim {
 
+// A pre-resolved protocol counter: the name plus (when the context
+// supports interning) a dense slot into the run's Metrics. Protocols
+// resolve once via Context::ResolveCounter and record through the ref —
+// the per-event path is then an array bump, not a string lookup. A ref
+// from a context that doesn't intern keeps slot == kUnresolved and falls
+// back to the string path, so the same protocol code runs everywhere.
+struct CounterRef {
+  static constexpr std::uint32_t kUnresolved = 0xFFFFFFFFu;
+  std::string_view name;
+  std::uint32_t slot = kUnresolved;
+};
+
 class Context {
  public:
   virtual ~Context() = default;
@@ -80,6 +92,20 @@ class Context {
   virtual void AddCounter(std::string_view name, std::int64_t delta) = 0;
   // Keeps the running max of a protocol-specific gauge.
   virtual void MaxCounter(std::string_view name, std::int64_t value) = 0;
+
+  // Resolves a counter name once so per-event records skip the string
+  // path. Contexts without a metrics backend keep the default, which
+  // returns an unresolved ref — the CounterRef overloads below then
+  // forward to the string entry points, preserving behaviour.
+  virtual CounterRef ResolveCounter(std::string_view name) {
+    return CounterRef{name, CounterRef::kUnresolved};
+  }
+  virtual void AddCounter(const CounterRef& c, std::int64_t delta) {
+    AddCounter(c.name, delta);
+  }
+  virtual void MaxCounter(const CounterRef& c, std::int64_t value) {
+    MaxCounter(c.name, value);
+  }
 
   // Marks the start/end of a protocol phase span (obs/phase.h taxonomy;
   // `level` distinguishes doubling levels). Spans nest; EndPhase closes

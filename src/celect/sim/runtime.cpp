@@ -97,11 +97,31 @@ class Runtime::ContextImpl : public Context {
   void EndPhase(obs::PhaseId phase) override { rt_.EndPhase(node_, phase); }
 
   void AddCounter(std::string_view name, std::int64_t delta) override {
-    rt_.metrics_.AddCounter(std::string(name), delta);
+    rt_.metrics_.AddCounter(name, delta);
   }
 
   void MaxCounter(std::string_view name, std::int64_t value) override {
-    rt_.metrics_.MaxCounter(std::string(name), value);
+    rt_.metrics_.MaxCounter(name, value);
+  }
+
+  CounterRef ResolveCounter(std::string_view name) override {
+    return CounterRef{name, rt_.metrics_.InternCounter(name)};
+  }
+
+  void AddCounter(const CounterRef& c, std::int64_t delta) override {
+    if (c.slot == CounterRef::kUnresolved) {
+      rt_.metrics_.AddCounter(c.name, delta);
+    } else {
+      rt_.metrics_.AddCounter(c.slot, delta);
+    }
+  }
+
+  void MaxCounter(const CounterRef& c, std::int64_t value) override {
+    if (c.slot == CounterRef::kUnresolved) {
+      rt_.metrics_.MaxCounter(c.name, value);
+    } else {
+      rt_.metrics_.MaxCounter(c.slot, value);
+    }
   }
 
  private:
@@ -114,6 +134,7 @@ Runtime::Runtime(NetworkConfig config, const ProcessFactory& factory,
     : config_(std::move(config)),
       options_(options),
       factory_(factory),
+      queue_(options.use_reference_queue),
       links_(config_.n),
       trace_(options.enable_trace, options.trace_cap) {
   CELECT_CHECK(config_.n >= 2);
@@ -167,15 +188,21 @@ Process& Runtime::process(NodeId address) {
 TimerId Runtime::ScheduleTimer(NodeId node, Time delay) {
   CELECT_CHECK(delay >= Time::Zero()) << "timer delay must be non-negative";
   TimerId id = ++next_timer_;
-  active_timers_.emplace(id, node);
-  queue_.Push(now_ + delay, TimerEvent{node, id});
+  const EventTicket ticket =
+      queue_.PushTicketed(now_ + delay, TimerEvent{node, id});
+  active_timers_.emplace(id, TimerRec{node, ticket});
   metrics_.RecordTimerSet();
   TraceEvent(TraceRecord::Kind::kTimerSet, node, node, kInvalidPort, 0, id);
   return id;
 }
 
 void Runtime::CancelTimer(NodeId node, TimerId timer) {
-  if (active_timers_.erase(timer) == 0) return;  // fired or cancelled
+  auto it = active_timers_.find(timer);
+  if (it == active_timers_.end()) return;  // fired or cancelled
+  // Tombstone the queued event right away: it still pops (and is
+  // discarded below in Dispatch), but no longer counts as pending.
+  queue_.Cancel(it->second.ticket);
+  active_timers_.erase(it);
   metrics_.RecordTimerCancelled();
   TraceEvent(TraceRecord::Kind::kTimerCancel, node, node, kInvalidPort, 0,
              timer);
@@ -192,7 +219,12 @@ void Runtime::MarkCrashed(NodeId node) {
   // fresh process a rejoin installs.
   // celect-lint: allow(no-unordered-iteration) erase-only; order-free
   for (auto it = active_timers_.begin(); it != active_timers_.end();) {
-    it = it->second == node ? active_timers_.erase(it) : std::next(it);
+    if (it->second.node == node) {
+      queue_.Cancel(it->second.ticket);
+      it = active_timers_.erase(it);
+    } else {
+      ++it;
+    }
   }
   // A dead node's spans end at its death, not at quiescence.
   while (!phase_stack_[node].empty()) CloseTopPhase(node);
@@ -308,10 +340,12 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
     TraceEvent(TraceRecord::Kind::kDrop, to, from, kInvalidPort,
                packet.type, mid);
   } else {
-    const MessageInfo info{from, to, now_, links_.SentCount(from, to),
-                           &packet};
+    // One table probe serves both the delay model's sent-count input and
+    // the admission — the second lookup was ~10% of hot-path time.
+    const LinkTable::LinkRef link = links_.Touch(from, to);
+    const MessageInfo info{from, to, now_, links_.SentCount(link), &packet};
     DelayDecision d = config_.delays->Decide(info);
-    Admission adm = links_.AdmitWithFaults(from, to, now_, d);
+    Admission adm = links_.AdmitWithFaults(link, from, to, now_, d);
     if (adm.lost) {
       metrics_.RecordDrop(DropCause::kInjectedLoss);
       TraceEvent(TraceRecord::Kind::kLoss, to, from, kInvalidPort,
@@ -322,9 +356,14 @@ void Runtime::SendFrom(NodeId from, Port port, wire::Packet packet) {
       const auto mid32 = static_cast<std::uint32_t>(mid);
       const auto send_clock = static_cast<std::uint32_t>(lamport_[from]);
       auto latency = [&](Time arrival) {
-        return static_cast<std::uint32_t>(std::min<std::int64_t>(
-            (arrival - now_).ticks(),
-            std::numeric_limits<std::uint32_t>::max()));
+        constexpr std::int64_t kCeiling =
+            std::numeric_limits<std::uint32_t>::max();
+        const std::int64_t ticks = (arrival - now_).ticks();
+        // The 32-bit field clips at ~4096 units of FIFO backlog. Rare,
+        // but silence would quietly corrupt the latency histogram — make
+        // it loud via counters["sim.latency_saturated"].
+        if (ticks > kCeiling) metrics_.RecordLatencySaturated();
+        return static_cast<std::uint32_t>(std::min(ticks, kCeiling));
       };
       if (adm.duplicate_arrival) {
         metrics_.RecordDuplicate();
@@ -594,6 +633,12 @@ RunResult Runtime::Run() {
   if (metrics_.timers_cancelled() > 0) {
     r.counters["sim.timers_cancelled"] =
         static_cast<std::int64_t>(metrics_.timers_cancelled());
+  }
+  // Clipped DeliveryEvent::latency_ticks fields: absent on healthy runs,
+  // loud when a backlog outgrew the 32-bit latency range.
+  if (metrics_.latency_saturated() > 0) {
+    r.counters["sim.latency_saturated"] =
+        static_cast<std::int64_t>(metrics_.latency_saturated());
   }
   // Per-cause lease counters ride the counter map like the drop causes:
   // absent on lease-free runs, so fingerprints of existing workloads are

@@ -32,6 +32,7 @@
 #include "celect/obs/telemetry.h"
 #include "celect/sim/event_queue.h"
 #include "celect/sim/fault.h"
+#include "celect/sim/heap_event_queue.h"
 #include "celect/sim/hooks.h"
 #include "celect/sim/link.h"
 #include "celect/sim/metrics.h"
@@ -67,6 +68,11 @@ struct RuntimeOptions {
   // FIFO still holds; inert events — stale timers, traffic to dead
   // nodes — are drained eagerly and are not choice points). Not owned.
   ScheduleController* controller = nullptr;
+  // Drive the run from the original binary-heap queue instead of the
+  // ladder. Pop order is identical, so results must match bit for bit —
+  // the equivalence tests diff the two, and a mismatch bisects queue
+  // bugs. Slower; off outside tests.
+  bool use_reference_queue = false;
 };
 
 struct RunResult {
@@ -166,7 +172,7 @@ class Runtime {
   ProcessFactory factory_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Id> ids_;
-  EventQueue queue_;
+  DualQueue queue_;
   LinkTable links_;
   Metrics metrics_;
   Trace trace_;
@@ -189,11 +195,18 @@ class Runtime {
   // inert under controlled scheduling.
   std::vector<std::uint32_t> pending_rejoins_;
 
-  // Live timers (id → owning node); a fired or cancelled timer leaves
-  // the map, so stale TimerEvents are discarded at dispatch. A crash
-  // erases all of the owner's timers, which keeps a pre-crash timer from
-  // ever firing into the fresh process a rejoin installs.
-  std::unordered_map<TimerId, NodeId> active_timers_;
+  // Live timers (id → owner + queue ticket); a fired or cancelled timer
+  // leaves the map, so stale TimerEvents are discarded at dispatch. The
+  // ticket lets CancelTimer tombstone the queued event the moment it is
+  // cancelled, so Size()/PeekTime() and queue-depth telemetry never
+  // count it. A crash erases (and cancels) all of the owner's timers,
+  // which keeps a pre-crash timer from ever firing into the fresh
+  // process a rejoin installs.
+  struct TimerRec {
+    NodeId node;
+    EventTicket ticket;
+  };
+  std::unordered_map<TimerId, TimerRec> active_timers_;
   TimerId next_timer_ = kInvalidTimer;
 
   // --- Observability (obs/) ------------------------------------------

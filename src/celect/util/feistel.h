@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "celect/util/check.h"
+
 namespace celect {
 
 class FeistelPermutation {
@@ -18,15 +20,55 @@ class FeistelPermutation {
 
   std::uint64_t domain() const { return domain_; }
 
-  // Bijective map [0, domain) -> [0, domain).
-  std::uint64_t Encrypt(std::uint64_t x) const;
+  // Bijective map [0, domain) -> [0, domain). Defined inline: every
+  // simulated send resolves two permutations, and the rounds are pure
+  // register arithmetic that call overhead would dominate.
+  std::uint64_t Encrypt(std::uint64_t x) const {
+    CELECT_DCHECK(x < domain_);
+    // Cycle-walk until the value lands back inside the domain. Expected
+    // iterations: pow2_/domain_ < 4.
+    std::uint64_t y = EncryptOnce(x);
+    while (y >= domain_) y = EncryptOnce(y);
+    return y;
+  }
   // Inverse of Encrypt.
-  std::uint64_t Decrypt(std::uint64_t y) const;
+  std::uint64_t Decrypt(std::uint64_t y) const {
+    CELECT_DCHECK(y < domain_);
+    std::uint64_t x = DecryptOnce(y);
+    while (x >= domain_) x = DecryptOnce(x);
+    return x;
+  }
 
  private:
-  std::uint64_t EncryptOnce(std::uint64_t x) const;
-  std::uint64_t DecryptOnce(std::uint64_t y) const;
-  std::uint32_t RoundFn(std::uint32_t half, int round) const;
+  std::uint64_t EncryptOnce(std::uint64_t x) const {
+    std::uint32_t left = static_cast<std::uint32_t>(x >> half_bits_);
+    std::uint32_t right = static_cast<std::uint32_t>(x & half_mask_);
+    for (int r = 0; r < 4; ++r) {
+      std::uint32_t next =
+          static_cast<std::uint32_t>((left ^ RoundFn(right, r)) & half_mask_);
+      left = right;
+      right = next;
+    }
+    return (static_cast<std::uint64_t>(left) << half_bits_) | right;
+  }
+  std::uint64_t DecryptOnce(std::uint64_t y) const {
+    std::uint32_t left = static_cast<std::uint32_t>(y >> half_bits_);
+    std::uint32_t right = static_cast<std::uint32_t>(y & half_mask_);
+    for (int r = 3; r >= 0; --r) {
+      std::uint32_t prev =
+          static_cast<std::uint32_t>((right ^ RoundFn(left, r)) & half_mask_);
+      right = left;
+      left = prev;
+    }
+    return (static_cast<std::uint64_t>(left) << half_bits_) | right;
+  }
+  std::uint32_t RoundFn(std::uint32_t half, int round) const {
+    std::uint64_t z = half + keys_[round];
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<std::uint32_t>(z & half_mask_);
+  }
 
   std::uint64_t domain_;
   int half_bits_;          // bits per Feistel half

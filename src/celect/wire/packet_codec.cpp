@@ -8,6 +8,18 @@
 
 namespace celect::wire {
 
+void FieldVec::Grow(std::uint32_t want) {
+  std::uint32_t ncap = cap_;
+  while (ncap < want) ncap *= 2;
+  auto* nheap = new std::int64_t[ncap];
+  if (size_ > 0) {
+    std::memcpy(nheap, data(), size_ * sizeof(std::int64_t));
+  }
+  delete[] heap_;
+  heap_ = nheap;
+  cap_ = ncap;
+}
+
 std::int64_t Packet::field(std::size_t i) const {
   CELECT_DCHECK(i < fields.size())
       << "packet type " << type << " has " << fields.size() << " fields";

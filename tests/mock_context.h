@@ -56,6 +56,10 @@ class MockContext : public sim::Context {
   void DeclareLeader() override { ++leader_declarations_; }
   void AddCounter(std::string_view, std::int64_t) override {}
   void MaxCounter(std::string_view, std::int64_t) override {}
+  // Keep the CounterRef overloads visible (and inert) despite the
+  // string overrides above hiding the base names.
+  void AddCounter(const sim::CounterRef&, std::int64_t) override {}
+  void MaxCounter(const sim::CounterRef&, std::int64_t) override {}
 
   // --- scripting helpers -------------------------------------------
   void set_sense_of_direction(bool sod) { sod_ = sod; }

@@ -1,0 +1,196 @@
+// Ladder-queue specifics: tombstone accounting, arena reuse across chunk
+// boundaries, far-horizon drains, and a randomized differential check
+// against the reference binary heap. The basic ordering contract
+// (time, then insertion order) is covered in test_sim_core.cpp; these
+// tests pin the parts the ladder rework added.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "celect/sim/event_queue.h"
+#include "celect/sim/heap_event_queue.h"
+#include "celect/util/rng.h"
+
+namespace celect::sim {
+namespace {
+
+Time T(double units) { return Time::FromDouble(units); }
+
+TEST(EventQueueTombstones, CancelledEventLeavesSizeButStillPops) {
+  EventQueue q;
+  q.Push(T(1.0), WakeupEvent{0});
+  EventTicket t = q.PushTicketed(T(2.0), TimerEvent{0, 7});
+  EXPECT_EQ(q.Size(), 2u);
+
+  q.Cancel(t);
+  // Live accounting excludes the tombstone...
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.Tombstones(), 1u);
+  EXPECT_FALSE(q.Empty());
+
+  // ...but the event still pops in order, exactly like the reference
+  // heap, so event counts and fingerprints are unchanged.
+  auto a = q.Pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->at, T(1.0));
+  auto b = q.Pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->at, T(2.0));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Tombstones(), 0u);
+}
+
+TEST(EventQueueTombstones, PeekTimeSkipsCancelledEarliest) {
+  EventQueue q;
+  EventTicket first = q.PushTicketed(T(1.0), TimerEvent{0, 1});
+  q.Push(T(5.0), WakeupEvent{1});
+  q.Cancel(first);
+  // The earliest *live* event defines the horizon; the cancelled timer
+  // no longer pins PeekTime at 1.0.
+  EXPECT_EQ(q.PeekTime(), T(5.0));
+}
+
+TEST(EventQueueTombstones, FarFutureCancelDoesNotHoldTheHorizon) {
+  EventQueue q;
+  q.Push(T(1.0), WakeupEvent{0});
+  // Far beyond the wheel horizon (the far-heap region).
+  EventTicket lease = q.PushTicketed(T(100000.0), TimerEvent{3, 9});
+  q.Cancel(lease);
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.PeekTime(), T(1.0));
+}
+
+TEST(EventQueueTombstones, CancelAfterPopIsANoOp) {
+  EventQueue q;
+  EventTicket t = q.PushTicketed(T(1.0), TimerEvent{0, 1});
+  ASSERT_TRUE(q.Pop().has_value());
+  q.Cancel(t);  // slot already freed; must not corrupt accounting
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Tombstones(), 0u);
+
+  // The freed slot is reused by the next push; the stale ticket must not
+  // kill the new occupant.
+  q.Push(T(2.0), WakeupEvent{1});
+  q.Cancel(t);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueue, ArenaSurvivesChunkBoundariesAndReuse) {
+  EventQueue q;
+  // Well past the first arena chunk (1024 slots).
+  constexpr int kCount = 5000;
+  for (int i = 0; i < kCount; ++i) {
+    q.Push(T(0.001 * i), WakeupEvent{static_cast<NodeId>(i)});
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto e = q.Pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(std::get<WakeupEvent>(e->body).node,
+              static_cast<NodeId>(i));
+  }
+  EXPECT_TRUE(q.Empty());
+
+  // Freed slots recycle: push another wave through the same queue.
+  for (int i = 0; i < kCount; ++i) {
+    q.Push(T(1000.0 + 0.001 * i), WakeupEvent{static_cast<NodeId>(i)});
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto e = q.Pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(std::get<WakeupEvent>(e->body).node,
+              static_cast<NodeId>(i));
+  }
+}
+
+TEST(EventQueue, FarDrainPreservesSameInstantSeqOrder) {
+  EventQueue q;
+  // Same instant, far beyond the wheel horizon: these sit in the far
+  // heap and drain into one L0 bucket when serving reaches their block.
+  const Time far = T(50000.0);
+  for (NodeId i = 0; i < 64; ++i) q.Push(far, WakeupEvent{i});
+  q.Push(T(0.5), WakeupEvent{1000});
+  ASSERT_TRUE(q.Pop().has_value());  // the near event first
+  for (NodeId i = 0; i < 64; ++i) {
+    auto e = q.Pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(std::get<WakeupEvent>(e->body).node, i) << "push order broken";
+  }
+}
+
+TEST(EventQueue, TakeRemovesBySeqAndKeepsOrder) {
+  EventQueue q;
+  std::uint64_t s0 = q.Push(T(1.0), WakeupEvent{0});
+  std::uint64_t s1 = q.Push(T(2.0), WakeupEvent{1});
+  std::uint64_t s2 = q.Push(T(3.0), WakeupEvent{2});
+  (void)s0;
+  Event mid = q.Take(s1);
+  EXPECT_EQ(std::get<WakeupEvent>(mid.body).node, 1u);
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, 0u);
+  EXPECT_EQ(std::get<WakeupEvent>(q.Pop()->body).node, 2u);
+  (void)s2;
+}
+
+// Differential test: random pushes (near, wheel-horizon, and far times),
+// random ticketed cancels, and interleaved pops must match the reference
+// binary heap event for event. The heap has no tombstones, so cancelled
+// events are tracked outside and skipped on its side.
+TEST(EventQueue, RandomizedDifferentialAgainstReferenceHeap) {
+  Rng rng(20260807);
+  EventQueue ladder;
+  HeapEventQueue heap;
+  std::vector<EventTicket> cancellable;
+  std::uint64_t time_floor = 0;  // popped times never go backwards
+
+  auto random_time = [&]() {
+    // Mix of same-tick bursts, in-wheel, and far-heap targets.
+    std::uint64_t span;
+    switch (rng.NextBelow(4)) {
+      case 0: span = 8; break;                   // same/near tick
+      case 1: span = 1 << 12; break;             // current block
+      case 2: span = std::uint64_t{1} << 23; break;  // inside the wheel
+      default: span = std::uint64_t{1} << 30; break;  // far heap
+    }
+    return Time::FromTicks(
+        static_cast<std::int64_t>(time_floor + rng.NextBelow(span)));
+  };
+
+  for (int round = 0; round < 20000; ++round) {
+    const std::uint32_t op = rng.NextBelow(10);
+    if (op < 5) {  // push
+      const Time at = random_time();
+      const NodeId node = static_cast<NodeId>(round);
+      EventTicket t = ladder.PushTicketed(at, WakeupEvent{node});
+      heap.Push(at, WakeupEvent{node});
+      if (rng.NextBelow(4) == 0) cancellable.push_back(t);
+    } else if (op < 6 && !cancellable.empty()) {  // cancel a random timer
+      const std::size_t pick = rng.NextBelow(cancellable.size());
+      ladder.Cancel(cancellable[pick]);
+      cancellable.erase(cancellable.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      // The reference heap has no cancellation; the tombstone still pops
+      // on the ladder side, so the pop streams stay aligned.
+    } else {  // pop
+      auto a = ladder.Pop();
+      auto b = heap.Pop();
+      ASSERT_EQ(a.has_value(), b.has_value()) << "round " << round;
+      if (!a) continue;
+      ASSERT_EQ(a->at, b->at) << "round " << round;
+      ASSERT_EQ(a->seq, b->seq) << "round " << round;
+      time_floor = static_cast<std::uint64_t>(a->at.ticks());
+    }
+  }
+  // Drain both and compare the tails.
+  for (;;) {
+    auto a = ladder.Pop();
+    auto b = heap.Pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    ASSERT_EQ(a->at, b->at);
+    ASSERT_EQ(a->seq, b->seq);
+  }
+}
+
+}  // namespace
+}  // namespace celect::sim

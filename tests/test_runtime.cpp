@@ -219,5 +219,87 @@ TEST(Runtime, MaxLinkLoadReflectsBurstiness) {
   EXPECT_EQ(r.max_link_load, 1u);  // ping-pong never reuses a direction
 }
 
+// Pings like PingPong, but node 0 also arms a far-future watchdog timer
+// at wakeup and cancels it once the first pong arrives.
+class WatchdogPingPong : public Process {
+ public:
+  explicit WatchdogPingPong(const ProcessInit& init) : n_(init.n) {}
+
+  void OnWakeup(Context& ctx) override {
+    watchdog_ = ctx.SetTimer(Time::FromDouble(100000.0));
+    ctx.SendAll(wire::Packet{kPing, {ctx.id()}});
+  }
+
+  void OnMessage(Context& ctx, Port from_port,
+                 const wire::Packet& p) override {
+    if (p.type == kPing) {
+      ctx.Send(from_port, wire::Packet{kPong, {}});
+      return;
+    }
+    if (watchdog_ != kInvalidTimer) {
+      ctx.CancelTimer(watchdog_);
+      watchdog_ = kInvalidTimer;
+    }
+    if (++pongs_ == n_ - 1) ctx.DeclareLeader();
+  }
+
+  void OnTimer(Context&, TimerId) override { timer_fired_ = true; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t pongs_ = 0;
+  TimerId watchdog_ = kInvalidTimer;
+  bool timer_fired_ = false;
+};
+
+// Regression: a cancelled far-future timer is a tombstone in the queue;
+// it must not stretch quiescence (or the live horizon) to a deadline
+// that never fires. Quiescence must land exactly where the timer-free
+// PingPong run lands.
+TEST(Runtime, CancelledFarFutureTimerLeavesQuiescenceUnchanged) {
+  Runtime rt(BasicConfig(8), [](const ProcessInit& init) {
+    return std::make_unique<WatchdogPingPong>(init);
+  });
+  auto r = rt.Run();
+  EXPECT_EQ(r.leader_declarations, 1u);
+  EXPECT_DOUBLE_EQ(r.quiesce_time.ToDouble(), 2.0);
+  EXPECT_EQ(r.timers_fired, 0u);
+  EXPECT_EQ(r.counters.at("sim.timers_cancelled"), 1);
+}
+
+// A sender that puts one huge burst on a single FIFO link. Unit delays
+// serialise the burst one unit apart, so the tail of the backlog arrives
+// more than 4096 units (2^32 ticks) after its send — past what
+// DeliveryEvent's 32-bit latency field can represent.
+class BurstSender : public Process {
+ public:
+  explicit BurstSender(const ProcessInit&) {}
+
+  void OnWakeup(Context& ctx) override {
+    for (int i = 0; i < 4100; ++i) ctx.Send(1, wire::Packet{kPing, {}});
+  }
+
+  void OnMessage(Context&, Port, const wire::Packet&) override {}
+
+ private:
+};
+
+// Regression: latency saturation used to clip silently, feeding the
+// telemetry histogram a fake mode at the ceiling. It must now surface
+// as counters["sim.latency_saturated"].
+TEST(Runtime, LatencySaturationIsCounted) {
+  NetworkConfig c = BasicConfig(2);
+  RuntimeOptions opt;
+  opt.enable_telemetry = true;
+  Runtime rt(std::move(c), [](const ProcessInit& init) {
+    return std::make_unique<BurstSender>(init);
+  }, opt);
+  auto r = rt.Run();
+  ASSERT_TRUE(r.counters.contains("sim.latency_saturated"));
+  // 4100 messages spaced one unit apart: arrivals past ~4096 units clip.
+  EXPECT_GT(r.counters.at("sim.latency_saturated"), 0);
+  EXPECT_LT(r.counters.at("sim.latency_saturated"), 100);
+}
+
 }  // namespace
 }  // namespace celect::sim

@@ -12,6 +12,19 @@ Usage:
       serial-vs-parallel determinism check: a --threads=1 run and a
       --threads=8 run of the same grid must produce the same rows.
 
+  check_bench_json.py --compare BASELINE CURRENT --perf-budget PCT
+      Perf-gate form: instead of byte identity, compare throughput row
+      by row (rows matched on protocol/n/extra; rows present in only
+      one document are ignored, so a --quick grid gates against a full
+      committed baseline). Fails when any matching row's events_per_sec
+      drops more than PCT percent below the baseline. Only throughput
+      is gated — per-row wall_ns is noise-dominated for millisecond
+      rows, and an event-count change would trip the determinism
+      compare instead. The budget should be generous (CI hardware
+      differs from the baseline machine); the gate exists to catch
+      order-of-magnitude collapses like the pre-ladder binary-heap
+      cache cliff, not single-digit noise.
+
   check_bench_json.py --strict [...]
       With either form: additionally reject unknown top-level keys
       (anything beyond suite/git_rev/schema_version/rows/histograms),
@@ -191,18 +204,64 @@ def strip_wall(doc):
     return doc
 
 
+def row_key(row):
+    extra = tuple(sorted(row.get("extra", {}).items()))
+    return (row["protocol"], row["n"], extra)
+
+
+def check_perf_budget(base_path, base, cur_path, cur, budget_pct):
+    """Fails when a row in `cur` regresses beyond budget_pct vs `base`."""
+    baseline = {row_key(r): r for r in base["rows"]}
+    compared = 0
+    for row in cur["rows"]:
+        ref = baseline.get(row_key(row))
+        if ref is None:
+            continue
+        compared += 1
+        label = f"{row['protocol']} n={row['n']}"
+        ref_eps, cur_eps = ref["events_per_sec"], row["events_per_sec"]
+        if ref_eps > 0 and cur_eps < ref_eps * (1 - budget_pct / 100):
+            fail(
+                cur_path,
+                f"{label}: events_per_sec {cur_eps:.3g} is more than "
+                f"{budget_pct}% below baseline {ref_eps:.3g} "
+                f"({base_path})",
+            )
+    if compared == 0:
+        fail(cur_path, f"no rows match the baseline grid in {base_path}")
+    print(
+        f"OK: {cur_path} within {budget_pct}% of {base_path} "
+        f"({compared} rows compared)"
+    )
+
+
 def main(argv):
     strict = False
     if argv and argv[0] == "--strict":
         strict = True
         argv = argv[1:]
+    budget = None
+    if "--perf-budget" in argv:
+        i = argv.index("--perf-budget")
+        if i + 1 >= len(argv):
+            fail("usage", "--perf-budget takes a percentage")
+        try:
+            budget = float(argv[i + 1])
+        except ValueError:
+            fail("usage", f"--perf-budget: not a number: {argv[i + 1]!r}")
+        if budget <= 0:
+            fail("usage", "--perf-budget must be positive")
+        argv = argv[:i] + argv[i + 2 :]
     if len(argv) >= 1 and argv[0] == "--compare":
         if len(argv) != 3:
             fail("usage", "--compare takes exactly two files")
         a_path, b_path = argv[1], argv[2]
-        a = strip_wall(check_document(a_path, strict))
-        b = strip_wall(check_document(b_path, strict))
-        if a != b:
+        a = check_document(a_path, strict)
+        b = check_document(b_path, strict)
+        if budget is not None:
+            check_perf_budget(a_path, a, b_path, b, budget)
+            return
+        if strip_wall(a) != strip_wall(b):
             fail(
                 a_path,
                 f"differs from {b_path} beyond wall_ns/events_per_sec "
@@ -210,6 +269,8 @@ def main(argv):
             )
         print(f"OK: {a_path} == {b_path} modulo wall fields")
         return
+    if budget is not None:
+        fail("usage", "--perf-budget requires --compare")
     if not argv:
         fail("usage", "expected at least one BENCH_*.json path")
     for path in argv:
