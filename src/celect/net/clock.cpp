@@ -1,0 +1,36 @@
+#include "celect/net/clock.h"
+
+#include <chrono>
+
+#include <unistd.h>
+
+namespace celect::net {
+
+namespace {
+
+// The one sanctioned wall-clock read in net/: real-socket transports
+// need real time. Deterministic paths use VirtualClock and never reach
+// this file.
+std::uint64_t SteadyNowNs() {
+  // celect-lint: allow(no-wall-clock) real-socket transport clock
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace
+
+MonotonicClock::MonotonicClock() : base_ns_(SteadyNowNs()) {}
+
+Micros MonotonicClock::Now() { return (SteadyNowNs() - base_ns_) / 1000; }
+
+std::uint64_t HostEpoch() {
+  // Mix the boot-relative nanosecond clock with the pid so two
+  // incarnations of the same node (fork → kill → fork) get distinct
+  // epochs even when they start within the clock's resolution.
+  std::uint64_t e = SteadyNowNs() ^
+                    (static_cast<std::uint64_t>(::getpid()) << 48);
+  return e == 0 ? 1 : e;
+}
+
+}  // namespace celect::net

@@ -1,0 +1,55 @@
+// Time sources for the transport layer.
+//
+// Everything in net/ is written against an abstract microsecond clock so
+// the reliability state machine, the fake link, and the cluster drivers
+// are testable deterministically: tests and the in-memory transport use
+// VirtualClock (advanced explicitly by the driver), while the UDP path
+// uses MonotonicClock. This is the only place in src/ where wall-clock
+// time is permitted, and only behind the Clock interface — protocol code
+// above the transport never sees it.
+#pragma once
+
+#include <cstdint>
+
+namespace celect::net {
+
+// Microseconds on the owning transport's clock. The zero point is
+// arbitrary (process start for MonotonicClock, construction for
+// VirtualClock); only differences are meaningful.
+using Micros = std::uint64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros Now() = 0;
+};
+
+// Deterministic clock advanced explicitly by a simulation driver.
+// Never moves backwards.
+class VirtualClock final : public Clock {
+ public:
+  Micros Now() override { return now_; }
+  void AdvanceTo(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_ = 0;
+};
+
+// Host monotonic clock, rebased so the first reading is ~0.
+class MonotonicClock final : public Clock {
+ public:
+  MonotonicClock();
+  Micros Now() override;
+
+ private:
+  std::uint64_t base_ns_ = 0;
+};
+
+// A session epoch for real deployments: unique (with overwhelming
+// probability) across restarts of the same logical node, and never zero
+// — zero means "epoch unknown" on the wire.
+std::uint64_t HostEpoch();
+
+}  // namespace celect::net

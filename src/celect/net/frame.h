@@ -1,0 +1,106 @@
+// Byte-level framing for the transport.
+//
+// A frame is the unit the reliability session exchanges over a datagram
+// (or byte) pipe:
+//
+//   u8      magic0 = 0xCE
+//   u8      magic1 = 0x17
+//   u8      kind          (FrameKind)
+//   varint  payload length
+//   u8[len] payload
+//   u8[4]   checksum32 over kind..payload (little-endian FNV-1a fold)
+//
+// The decoder is an incremental push-byte state machine: feed it bytes
+// in any chunking and it emits complete frames, skipping garbage by
+// rescanning for the magic pair. Truncated input simply leaves it
+// mid-state; corrupt input costs one error counter tick and a resync,
+// never a crash or an unbounded allocation (payload length is capped
+// before any buffering happens).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "celect/wire/checksum.h"
+
+namespace celect::net {
+
+inline constexpr std::uint8_t kFrameMagic0 = 0xCE;
+inline constexpr std::uint8_t kFrameMagic1 = 0x17;
+
+// Largest payload the decoder will buffer: a session header plus one
+// max-size wire packet, with headroom.
+inline constexpr std::size_t kMaxFramePayload = 1200;
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,     // open / reopen a session (carries epoch, start seq)
+  kHelloAck = 2,  // accept a session (carries both epochs, start seq)
+  kData = 3,      // sequenced payload with piggybacked ack
+  kAck = 4,       // pure ack
+  kReset = 5,     // "I have no session for your epoch — re-hello"
+};
+
+bool IsValidFrameKind(std::uint8_t k);
+const char* ToString(FrameKind k);
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  std::vector<std::uint8_t> payload;
+};
+
+// Appends the encoded frame to out. The checksum is computed as the
+// bytes are appended (Fnv1aStream), so no contiguous staging copy of
+// the payload is ever made.
+void EncodeFrame(FrameKind kind, const std::uint8_t* payload,
+                 std::size_t len, std::vector<std::uint8_t>& out);
+void EncodeFrame(FrameKind kind, const std::vector<std::uint8_t>& payload,
+                 std::vector<std::uint8_t>& out);
+
+class FrameDecoder {
+ public:
+  enum class Push {
+    kPending,  // need more bytes
+    kFrame,    // a complete frame is available via frame()
+    kError,    // bad magic / kind / length / checksum; decoder resynced
+  };
+
+  Push PushByte(std::uint8_t b);
+
+  // Feeds a whole buffer, appending every completed frame to out.
+  // Returns the number of frames appended.
+  std::size_t PushBytes(const std::uint8_t* data, std::size_t len,
+                        std::vector<Frame>& out);
+
+  // The frame completed by the most recent PushByte() == kFrame. The
+  // payload is moved out, so read it before pushing further bytes.
+  Frame TakeFrame();
+
+  // Datagram-boundary hook: a datagram always carries whole frames, so
+  // being mid-frame at its end means the tail was lost or mangled.
+  // Counts one error and resyncs; returns true if it was mid-frame.
+  // Byte-pipe callers (arbitrary chunking) simply never call this.
+  bool FlushTruncated();
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t garbage_bytes() const { return garbage_bytes_; }
+
+ private:
+  enum class State { kMagic0, kMagic1, kKind, kLen, kPayload, kSum };
+
+  Push Fail();
+
+  State state_ = State::kMagic0;
+  Frame frame_;
+  std::uint64_t len_ = 0;
+  int len_shift_ = 0;
+  std::uint32_t sum_ = 0;
+  int sum_bytes_ = 0;
+  wire::Fnv1aStream hash_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t garbage_bytes_ = 0;
+};
+
+}  // namespace celect::net

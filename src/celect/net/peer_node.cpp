@@ -1,0 +1,205 @@
+#include "celect/net/peer_node.h"
+
+#include <string>
+
+#include "celect/util/check.h"
+
+namespace celect::net {
+
+// sim::Context implemented against Transport primitives.
+class PeerNode::Ctx final : public sim::Context {
+ public:
+  explicit Ctx(PeerNode* node) : node_(node) {}
+
+  sim::NodeId address() const override { return node_->transport_.self(); }
+  sim::Id id() const override { return node_->config_.id; }
+  std::uint32_t n() const override { return node_->transport_.n(); }
+  sim::Time now() const override { return node_->SimNow(); }
+  bool has_sense_of_direction() const override {
+    return node_->config_.sense_of_direction;
+  }
+
+  void Send(sim::Port port, wire::Packet p) override {
+    CELECT_DCHECK(port >= 1 && port < n());
+    node_->traversed_.insert(port);
+    node_->transport_.Send(node_->PeerOf(port), p);
+  }
+
+  std::optional<sim::Port> SendFresh(wire::Packet p) override {
+    // Deterministic mapper policy: lowest untraversed port first.
+    for (sim::Port port = 1; port < n(); ++port) {
+      if (node_->traversed_.count(port)) continue;
+      Send(port, std::move(p));
+      return port;
+    }
+    return std::nullopt;
+  }
+
+  void SendAll(wire::Packet p) override {
+    for (sim::Port port = 1; port < n(); ++port) Send(port, p);
+  }
+
+  sim::TimerId SetTimer(sim::Time delay) override {
+    sim::TimerId id = node_->next_timer_++;
+    Micros deadline =
+        node_->transport_.Now() + node_->DelayToMicros(delay);
+    node_->timers_.insert({deadline, id});
+    return id;
+  }
+
+  void CancelTimer(sim::TimerId timer) override {
+    if (timer != sim::kInvalidTimer) node_->cancelled_.insert(timer);
+  }
+
+  void DeclareLeader() override {
+    node_->declared_self_ = true;
+    node_->Believe(node_->config_.id);
+  }
+
+  void AddCounter(std::string_view name, std::int64_t delta) override {
+    node_->counters_[std::string(name)] += delta;
+  }
+
+  void MaxCounter(std::string_view name, std::int64_t value) override {
+    auto& slot = node_->counters_[std::string(name)];
+    if (value > slot) slot = value;
+  }
+
+ private:
+  PeerNode* node_;
+};
+
+PeerNode::PeerNode(const PeerNodeConfig& config, Transport& transport,
+                   const sim::ProcessFactory& factory)
+    : config_(config), transport_(transport) {
+  CELECT_CHECK(config_.unit_us > 0);
+  ctx_ = std::make_unique<Ctx>(this);
+  process_ = factory(sim::ProcessInit{transport_.self(), config_.id,
+                                      transport_.n()});
+}
+
+PeerNode::~PeerNode() = default;
+
+PeerId PeerNode::PeerOf(sim::Port port) const {
+  return (transport_.self() + port) % transport_.n();
+}
+
+sim::Port PeerNode::PortOf(PeerId peer) const {
+  std::uint32_t n = transport_.n();
+  return static_cast<sim::Port>((peer + n - transport_.self()) % n);
+}
+
+sim::Time PeerNode::SimNow() const {
+  Micros now = transport_.Now();
+  // Split to keep now * 2^20 well inside int64 even for long runs.
+  std::int64_t units = static_cast<std::int64_t>(now / config_.unit_us);
+  std::int64_t rem = static_cast<std::int64_t>(now % config_.unit_us);
+  return sim::Time::FromTicks(
+      units * sim::Time::kTicksPerUnit +
+      rem * sim::Time::kTicksPerUnit /
+          static_cast<std::int64_t>(config_.unit_us));
+}
+
+Micros PeerNode::DelayToMicros(sim::Time delay) const {
+  std::int64_t t = delay.ticks();
+  if (t <= 0) return 0;
+  std::int64_t unit = static_cast<std::int64_t>(config_.unit_us);
+  return static_cast<Micros>(t / sim::Time::kTicksPerUnit * unit +
+                             t % sim::Time::kTicksPerUnit * unit /
+                                 sim::Time::kTicksPerUnit);
+}
+
+void PeerNode::Believe(sim::Id leader) {
+  if (leader_ && *leader_ >= leader) return;
+  leader_ = leader;
+  // Announce promptly so a fresh belief propagates within one pump.
+  next_announce_ = transport_.Now();
+}
+
+void PeerNode::Start() {
+  if (started_) return;
+  started_ = true;
+  if (config_.rejoin) {
+    process_->OnRejoin(*ctx_);
+  } else {
+    process_->OnWakeup(*ctx_);
+  }
+}
+
+void PeerNode::Dispatch(const TransportEvent& ev) {
+  ++events_dispatched_;
+  digest_.Update(static_cast<std::uint8_t>(ev.kind));
+  digest_.Update(static_cast<std::uint8_t>(ev.peer));
+  sim::Port port = PortOf(ev.peer);
+  switch (ev.kind) {
+    case TransportEvent::Kind::kPacket: {
+      digest_.Update(static_cast<std::uint8_t>(ev.packet.type));
+      digest_.Update(static_cast<std::uint8_t>(ev.packet.type >> 8));
+      for (std::int64_t f : ev.packet.fields) {
+        for (int i = 0; i < 8; ++i) {
+          digest_.Update(static_cast<std::uint8_t>(
+              static_cast<std::uint64_t>(f) >> (8 * i)));
+        }
+      }
+      if (ev.packet.type == kAnnouncePacketType) {
+        if (!ev.packet.fields.empty()) Believe(ev.packet.field(0));
+        return;
+      }
+      traversed_.insert(port);
+      process_->OnMessage(*ctx_, port, ev.packet);
+      return;
+    }
+    case TransportEvent::Kind::kSuspect:
+      ++suspicions_seen_;
+      process_->OnPeerSuspected(*ctx_, port);
+      return;
+    case TransportEvent::Kind::kPeerRestart:
+      // The reliability layer already resynced; nothing protocol-level
+      // to do — the revived peer re-enters via its own OnRejoin.
+      return;
+  }
+}
+
+void PeerNode::FireDueTimers() {
+  while (!timers_.empty()) {
+    auto [deadline, id] = *timers_.begin();
+    if (deadline > transport_.Now()) break;
+    timers_.erase(timers_.begin());
+    if (cancelled_.erase(id) > 0) continue;
+    digest_.Update(0x7D);  // timer-fired marker
+    digest_.Update(static_cast<std::uint8_t>(id));
+    process_->OnTimer(*ctx_, id);
+  }
+}
+
+void PeerNode::Announce() {
+  wire::Packet p;
+  p.type = kAnnouncePacketType;
+  p.fields.push_back(*leader_);
+  for (PeerId peer = 0; peer < transport_.n(); ++peer) {
+    if (peer == transport_.self()) continue;
+    transport_.Send(peer, p);
+  }
+  next_announce_ = transport_.Now() + config_.announce_interval_us;
+}
+
+void PeerNode::Pump() {
+  Start();
+  events_.clear();
+  transport_.Poll(events_);
+  for (const TransportEvent& ev : events_) Dispatch(ev);
+  FireDueTimers();
+  if (leader_ && transport_.Now() >= next_announce_) Announce();
+}
+
+std::optional<Micros> PeerNode::NextWake() const {
+  std::optional<Micros> wake = transport_.NextWake();
+  auto consider = [&wake](Micros t) {
+    if (!wake || t < *wake) wake = t;
+  };
+  if (!timers_.empty()) consider(timers_.begin()->first);
+  if (leader_) consider(next_announce_);
+  return wake;
+}
+
+}  // namespace celect::net

@@ -1,0 +1,119 @@
+// Hosts one sim::Process on top of a Transport.
+//
+// This is the seam that lets the protocol engines run unmodified over
+// real sockets: PeerNode implements sim::Context against Transport
+// primitives — ports map to peers ((self + port) mod n, so port
+// numbers stay 1..n-1 and never reveal identities), sim::Time maps to
+// transport microseconds through a configurable unit, timers live in a
+// local deadline queue, and transport suspect events surface as
+// Process::OnPeerSuspected.
+//
+// On top of the hosted election it runs a tiny gossip layer: once any
+// node believes in a leader (by declaring, or by hearing an announce)
+// it periodically re-announces the belief, adopting the highest leader
+// id on conflict. The election provides the belief; the gossip makes
+// it reach every current incarnation — including processes that were
+// SIGKILLed mid-election and restarted knowing nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "celect/net/transport.h"
+#include "celect/sim/process.h"
+#include "celect/wire/checksum.h"
+
+namespace celect::net {
+
+// Leader-announce gossip packet: fields = {leader id}. The type sits
+// far above both the protocol range (< 100) and the lease wrap base,
+// so it can never collide with a wrapped engine packet.
+inline constexpr std::uint16_t kAnnouncePacketType = 32001;
+
+struct PeerNodeConfig {
+  sim::Id id = 0;
+  // One sim::Time unit in transport microseconds. The EFG recovery
+  // period is 8 units; 20ms/unit puts protocol-level retries at 160ms,
+  // comfortably above the reliability layer's RTO.
+  Micros unit_us = 20'000;
+  Micros announce_interval_us = 100'000;
+  bool sense_of_direction = false;
+  // True for a process revived after a crash: it enters via OnRejoin
+  // (passive, quarantine-aware) instead of OnWakeup.
+  bool rejoin = false;
+};
+
+class PeerNode {
+ public:
+  PeerNode(const PeerNodeConfig& config, Transport& transport,
+           const sim::ProcessFactory& factory);
+  ~PeerNode();
+
+  // Delivers the initial OnWakeup (or OnRejoin) to the process.
+  void Start();
+
+  // One scheduling round: polls the transport, dispatches packets,
+  // suspicions, due timers, and the announce cadence.
+  void Pump();
+
+  // Earliest instant Pump has something to do; nullopt when idle.
+  std::optional<Micros> NextWake() const;
+
+  // The node's current leader belief (own declaration or adopted
+  // announce); nullopt until it believes.
+  std::optional<sim::Id> leader() const { return leader_; }
+  bool declared_self() const { return declared_self_; }
+  sim::Id id() const { return config_.id; }
+
+  // Rolling FNV digest over every dispatched event — the
+  // bit-reproducibility witness for deterministic transports.
+  std::uint64_t EventDigest() const { return digest_.Digest64(); }
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  std::uint64_t suspicions_seen() const { return suspicions_seen_; }
+
+  sim::Process& process() { return *process_; }
+
+ private:
+  class Ctx;
+
+  PeerId PeerOf(sim::Port port) const;
+  sim::Port PortOf(PeerId peer) const;
+  sim::Time SimNow() const;
+  Micros DelayToMicros(sim::Time delay) const;
+  void Dispatch(const TransportEvent& ev);
+  void FireDueTimers();
+  void Announce();
+  void Believe(sim::Id leader);
+
+  PeerNodeConfig config_;
+  Transport& transport_;
+  std::unique_ptr<sim::Process> process_;
+  std::unique_ptr<Ctx> ctx_;
+
+  // Armed timers by deadline; ties fire in arming order (TimerIds are
+  // monotone), so dispatch is deterministic.
+  std::set<std::pair<Micros, sim::TimerId>> timers_;
+  std::set<sim::TimerId> cancelled_;
+  sim::TimerId next_timer_ = 1;
+
+  std::set<sim::Port> traversed_;  // SendFresh bookkeeping
+
+  std::optional<sim::Id> leader_;
+  bool declared_self_ = false;
+  Micros next_announce_ = 0;
+  bool started_ = false;
+
+  wire::Fnv1aStream digest_;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t suspicions_seen_ = 0;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+
+  std::vector<TransportEvent> events_;  // reused poll buffer
+};
+
+}  // namespace celect::net

@@ -1,0 +1,485 @@
+#include "celect/net/reliable.h"
+
+#include <algorithm>
+
+#include "celect/wire/packet_codec.h"
+#include "celect/wire/varint.h"
+
+namespace celect::net {
+
+namespace {
+
+// How far above recv_next_ an out-of-order frame may sit and still be
+// buffered. Anything beyond is dropped (the sender's window is far
+// smaller, so only corruption gets here).
+constexpr std::uint64_t kRecvWindow = 256;
+constexpr std::size_t kMaxRttSamples = 4096;
+
+}  // namespace
+
+void SessionStats::MergeFrom(const SessionStats& o) {
+  hellos_sent += o.hellos_sent;
+  hello_acks_sent += o.hello_acks_sent;
+  data_sent += o.data_sent;
+  data_retransmits += o.data_retransmits;
+  acks_sent += o.acks_sent;
+  resets_sent += o.resets_sent;
+  delivered += o.delivered;
+  duplicates += o.duplicates;
+  out_of_order += o.out_of_order;
+  dropped_beyond_window += o.dropped_beyond_window;
+  stale_epoch += o.stale_epoch;
+  decode_errors += o.decode_errors;
+  frame_errors += o.frame_errors;
+  resets_received += o.resets_received;
+  peer_restarts += o.peer_restarts;
+  exhaustions += o.exhaustions;
+  suspicions += o.suspicions;
+  rtt_count += o.rtt_count;
+  rtt_sum_us += o.rtt_sum_us;
+  for (Micros s : o.rtt_samples) {
+    if (rtt_samples.size() >= kMaxRttSamples) break;
+    rtt_samples.push_back(s);
+  }
+}
+
+ReliableSession::ReliableSession(std::uint64_t local_epoch,
+                                 const SessionParams& params)
+    : params_(params),
+      rng_(SplitMix64(params.seed ^ local_epoch).Next()),
+      local_epoch_(local_epoch == 0 ? 1 : local_epoch) {}
+
+Micros ReliableSession::Backoff(std::uint32_t retries) {
+  std::uint32_t shift = std::min(retries, 10u);
+  Micros base = params_.rto_initial << shift;
+  base = std::min(base, params_.rto_max);
+  if (params_.jitter_pct == 0) return base;
+  Micros span = base * params_.jitter_pct / 100;
+  if (span == 0) return base;
+  // Uniform in [base - span, base + span].
+  return base - span + rng_.NextBelow(2 * span + 1);
+}
+
+std::uint64_t ReliableSession::AckBits() const {
+  std::uint64_t bits = 0;
+  for (const auto& [seq, pkt] : reorder_) {
+    std::uint64_t off = seq - recv_next_;  // >= 1 by invariant
+    if (off == 0 || off > 64) continue;
+    bits |= 1ULL << (off - 1);
+  }
+  return bits;
+}
+
+void ReliableSession::EmitFrame(FrameKind kind,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> dgram;
+  dgram.reserve(payload.size() + 12);
+  EncodeFrame(kind, payload, dgram);
+  outbox_.push_back(std::move(dgram));
+}
+
+std::uint64_t ReliableSession::OldestUnsentOrUnacked() const {
+  return unacked_.empty() ? next_seq_ : unacked_.front().seq;
+}
+
+void ReliableSession::SendHello(Micros now) {
+  std::vector<std::uint8_t> p;
+  wire::PutVarint(p, local_epoch_);
+  wire::PutVarint(p, OldestUnsentOrUnacked());
+  EmitFrame(FrameKind::kHello, p);
+  ++stats_.hellos_sent;
+  next_hello_at_ = now + Backoff(hello_retries_);
+}
+
+void ReliableSession::SendHelloAck(Micros) {
+  std::vector<std::uint8_t> p;
+  wire::PutVarint(p, local_epoch_);
+  wire::PutVarint(p, remote_epoch_);
+  wire::PutVarint(p, OldestUnsentOrUnacked());
+  EmitFrame(FrameKind::kHelloAck, p);
+  ++stats_.hello_acks_sent;
+}
+
+void ReliableSession::SendAck() {
+  std::vector<std::uint8_t> p;
+  wire::PutVarint(p, local_epoch_);
+  wire::PutVarint(p, recv_next_);
+  wire::PutVarint(p, AckBits());
+  EmitFrame(FrameKind::kAck, p);
+  ++stats_.acks_sent;
+  ack_dirty_ = false;
+}
+
+void ReliableSession::SendReset() {
+  std::vector<std::uint8_t> p;
+  wire::PutVarint(p, local_epoch_);
+  EmitFrame(FrameKind::kReset, p);
+  ++stats_.resets_sent;
+}
+
+void ReliableSession::TransmitData(Unacked& u, Micros now, bool retransmit) {
+  std::vector<std::uint8_t> p;
+  // Acks are stamped at (re)transmit time, never stored, so a frame
+  // retransmitted after a peer restart carries acks for the *current*
+  // receive stream.
+  wire::PutVarint(p, local_epoch_);
+  wire::PutVarint(p, u.seq);
+  wire::PutVarint(p, recv_next_);
+  wire::PutVarint(p, AckBits());
+  p.insert(p.end(), u.packet_bytes.begin(), u.packet_bytes.end());
+  EmitFrame(FrameKind::kData, p);
+  if (retransmit) {
+    ++stats_.data_retransmits;
+    ++u.retries;
+  } else {
+    ++stats_.data_sent;
+    u.first_sent = now;
+  }
+  u.next_retx = now + Backoff(u.retries);
+  ack_dirty_ = false;  // acks rode along
+}
+
+void ReliableSession::FillWindow(Micros now) {
+  if (!established_) return;
+  while (!pending_.empty() && unacked_.size() < params_.window) {
+    Unacked u;
+    u.seq = next_seq_++;
+    u.packet_bytes = std::move(pending_.front());
+    pending_.pop_front();
+    unacked_.push_back(std::move(u));
+    TransmitData(unacked_.back(), now, /*retransmit=*/false);
+  }
+}
+
+void ReliableSession::Start(Micros now) {
+  if (started_) return;
+  started_ = true;
+  hello_retries_ = 0;
+  SendHello(now);
+}
+
+void ReliableSession::SendPacket(const wire::Packet& p, Micros now) {
+  Start(now);
+  std::vector<std::uint8_t> bytes;
+  wire::EncodeTo(p, bytes);
+  pending_.push_back(std::move(bytes));
+  FillWindow(now);
+}
+
+void ReliableSession::NoteProgress() {
+  exhaustion_streak_ = 0;
+  suspect_signalled_ = false;
+  suspect_pending_ = false;
+  for (auto& u : unacked_) u.exhausted = false;
+}
+
+void ReliableSession::NoteExhaustion(Unacked* u) {
+  if (u != nullptr) {
+    if (u->exhausted) return;  // count each frame's budget once
+    u->exhausted = true;
+  }
+  ++stats_.exhaustions;
+  ++exhaustion_streak_;
+  if (exhaustion_streak_ >= params_.suspicion_exhaustions &&
+      !suspect_signalled_) {
+    suspect_pending_ = true;
+    suspect_signalled_ = true;
+    ++stats_.suspicions;
+  }
+}
+
+void ReliableSession::ProcessAck(std::uint64_t cum, std::uint64_t bits,
+                                 Micros now) {
+  if (cum > next_seq_) return;  // insane ack; corrupt or hostile
+  bool progress = false;
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    std::uint64_t seq = it->seq;
+    bool acked = seq < cum;
+    if (!acked && seq > cum) {
+      std::uint64_t off = seq - cum;
+      if (off >= 1 && off <= 64) acked = (bits >> (off - 1)) & 1;
+    }
+    if (acked) {
+      if (it->retries == 0) {
+        // Karn's rule: only never-retransmitted frames give clean RTTs.
+        Micros rtt = now - it->first_sent;
+        ++stats_.rtt_count;
+        stats_.rtt_sum_us += rtt;
+        if (stats_.rtt_samples.size() < kMaxRttSamples) {
+          stats_.rtt_samples.push_back(rtt);
+        }
+      }
+      it = unacked_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  if (progress) {
+    NoteProgress();
+    FillWindow(now);
+  }
+}
+
+void ReliableSession::AdoptRemote(std::uint64_t epoch,
+                                  std::uint64_t start_seq, Micros now) {
+  bool restart = remote_epoch_ != 0 && remote_epoch_ != epoch;
+  remote_epoch_ = epoch;
+  recv_next_ = start_seq;
+  reorder_.clear();
+  ack_dirty_ = false;
+  if (restart) {
+    ++stats_.peer_restarts;
+    peer_restart_pending_ = true;
+    // The new incarnation has no session state for us: freeze the send
+    // window and re-run the handshake so its receive stream is seeded
+    // with our oldest unacked seq before any retransmits land.
+    established_ = false;
+    started_ = true;
+    hello_retries_ = 0;
+    NoteProgress();
+    SendHello(now);
+  }
+}
+
+void ReliableSession::OnHello(const Frame& f, Micros now) {
+  wire::VarintReader r(f.payload.data(), f.payload.size());
+  auto epoch = r.ReadVarint();
+  auto start = r.ReadVarint();
+  if (!epoch || !start || *epoch == 0) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (remote_epoch_ == 0 || *epoch != remote_epoch_) {
+    AdoptRemote(*epoch, *start, now);
+  }
+  // A duplicate Hello for the current epoch means our HelloAck was
+  // lost (or is in flight); answering again is idempotent.
+  SendHelloAck(now);
+}
+
+void ReliableSession::OnHelloAck(const Frame& f, Micros now) {
+  wire::VarintReader r(f.payload.data(), f.payload.size());
+  auto epoch = r.ReadVarint();
+  auto echoed = r.ReadVarint();
+  auto start = r.ReadVarint();
+  if (!epoch || !echoed || !start || *epoch == 0) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (*echoed != local_epoch_) {
+    // Meant for a previous incarnation of this node.
+    ++stats_.stale_epoch;
+    return;
+  }
+  if (remote_epoch_ == 0 || *epoch != remote_epoch_) {
+    AdoptRemote(*epoch, *start, now);
+  }
+  // The peer echoed our epoch, so it can accept our data stream.
+  bool was_established = established_;
+  established_ = true;
+  NoteProgress();
+  if (!was_established) {
+    // Retransmit anything already in flight promptly: if this HelloAck
+    // answers a re-handshake after a peer restart, the peer's receive
+    // stream was just seeded and is waiting on these. Gated on the
+    // establishing transition — a duplicated HelloAck must not blast
+    // the whole window again — and run before FillWindow so frames
+    // first sent right now aren't re-sent.
+    for (auto& u : unacked_) {
+      if (u.retries <= params_.max_retries) TransmitData(u, now, true);
+    }
+  }
+  FillWindow(now);
+}
+
+void ReliableSession::OnData(const Frame& f, Micros now) {
+  wire::VarintReader r(f.payload.data(), f.payload.size());
+  auto epoch = r.ReadVarint();
+  auto seq = r.ReadVarint();
+  auto cum = r.ReadVarint();
+  auto bits = r.ReadVarint();
+  if (!epoch || !seq || !cum || !bits) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (*epoch != remote_epoch_ || remote_epoch_ == 0) {
+    // Unknown or dead incarnation: we cannot place its seqs. Ask it to
+    // re-hello rather than guessing a receive stream.
+    ++stats_.stale_epoch;
+    SendReset();
+    return;
+  }
+  // Data only flows once the peer holds our epoch, so the handshake is
+  // implicitly complete even if the HelloAck itself was lost. Open the
+  // send window here too — the hello retry loop stops on this flag, so
+  // this path must do everything OnHelloAck would have.
+  if (!established_) {
+    established_ = true;
+    NoteProgress();
+    FillWindow(now);
+  }
+  ProcessAck(*cum, *bits, now);
+  std::uint64_t s = *seq;
+  if (s < recv_next_) {
+    ++stats_.duplicates;
+    ack_dirty_ = true;  // re-ack so the sender stops retransmitting
+    return;
+  }
+  wire::DecodeStatus status;
+  auto pkt = wire::Decode(f.payload.data() + r.position(),
+                          f.payload.size() - r.position(), status);
+  if (!pkt) {
+    // The frame checksum passed but the inner packet is malformed —
+    // nothing a retransmit would fix, so consume the seq rather than
+    // wedging the stream on it.
+    ++stats_.decode_errors;
+    if (s == recv_next_) {
+      ++recv_next_;
+      ack_dirty_ = true;
+    }
+    return;
+  }
+  if (s == recv_next_) {
+    delivered_.push_back(std::move(*pkt));
+    ++stats_.delivered;
+    ++recv_next_;
+    // Drain any buffered successors.
+    auto it = reorder_.begin();
+    while (it != reorder_.end() && it->first == recv_next_) {
+      delivered_.push_back(std::move(it->second));
+      ++stats_.delivered;
+      ++recv_next_;
+      it = reorder_.erase(it);
+    }
+  } else if (s - recv_next_ <= kRecvWindow) {
+    if (reorder_.count(s)) {
+      ++stats_.duplicates;
+    } else {
+      reorder_.emplace(s, std::move(*pkt));
+      ++stats_.out_of_order;
+    }
+  } else {
+    ++stats_.dropped_beyond_window;
+  }
+  ack_dirty_ = true;
+}
+
+void ReliableSession::OnAck(const Frame& f, Micros now) {
+  wire::VarintReader r(f.payload.data(), f.payload.size());
+  auto epoch = r.ReadVarint();
+  auto cum = r.ReadVarint();
+  auto bits = r.ReadVarint();
+  if (!epoch || !cum || !bits) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (*epoch != remote_epoch_ || remote_epoch_ == 0) {
+    // An ack from a dead incarnation must not mark frames the new one
+    // never saw as delivered.
+    ++stats_.stale_epoch;
+    return;
+  }
+  if (!established_) {
+    established_ = true;
+    NoteProgress();
+    FillWindow(now);
+  }
+  ProcessAck(*cum, *bits, now);
+}
+
+void ReliableSession::OnReset(const Frame& f, Micros now) {
+  wire::VarintReader r(f.payload.data(), f.payload.size());
+  auto epoch = r.ReadVarint();
+  if (!epoch) {
+    ++stats_.decode_errors;
+    return;
+  }
+  ++stats_.resets_received;
+  // The peer has no session for our epoch; re-run the handshake. Keep
+  // the send window intact — seqs survive, the Hello re-seeds the
+  // peer's receive stream at our oldest unacked frame.
+  if (started_) {
+    established_ = false;
+    hello_retries_ = 0;
+    SendHello(now);
+  }
+}
+
+void ReliableSession::OnDatagram(const std::uint8_t* data, std::size_t size,
+                                 Micros now) {
+  std::uint64_t before = decoder_.errors();
+  std::vector<Frame> frames;
+  decoder_.PushBytes(data, size, frames);
+  decoder_.FlushTruncated();
+  stats_.frame_errors += decoder_.errors() - before;
+  for (const Frame& f : frames) {
+    switch (f.kind) {
+      case FrameKind::kHello:
+        OnHello(f, now);
+        break;
+      case FrameKind::kHelloAck:
+        OnHelloAck(f, now);
+        break;
+      case FrameKind::kData:
+        OnData(f, now);
+        break;
+      case FrameKind::kAck:
+        OnAck(f, now);
+        break;
+      case FrameKind::kReset:
+        OnReset(f, now);
+        break;
+    }
+  }
+  if (ack_dirty_) SendAck();
+}
+
+void ReliableSession::Tick(Micros now) {
+  if (started_ && !established_ && now >= next_hello_at_) {
+    ++hello_retries_;
+    if (hello_retries_ > params_.max_retries) {
+      hello_retries_ = params_.max_retries;  // stay at the ceiling
+      NoteExhaustion(nullptr);
+    }
+    SendHello(now);
+  }
+  if (established_) {
+    for (auto& u : unacked_) {
+      if (now < u.next_retx) continue;
+      if (u.retries >= params_.max_retries) {
+        NoteExhaustion(&u);
+        // Keep probing at the ceiling so a revived peer still recovers.
+        u.retries = params_.max_retries;
+      }
+      TransmitData(u, now, /*retransmit=*/true);
+    }
+  }
+  if (ack_dirty_) SendAck();
+}
+
+bool ReliableSession::TakeSuspect() {
+  bool s = suspect_pending_;
+  suspect_pending_ = false;
+  return s;
+}
+
+bool ReliableSession::TakePeerRestart() {
+  bool s = peer_restart_pending_;
+  peer_restart_pending_ = false;
+  return s;
+}
+
+std::optional<Micros> ReliableSession::NextWake() const {
+  std::optional<Micros> wake;
+  auto consider = [&wake](Micros t) {
+    if (!wake || t < *wake) wake = t;
+  };
+  if (started_ && !established_) consider(next_hello_at_);
+  if (established_) {
+    for (const auto& u : unacked_) consider(u.next_retx);
+  }
+  return wake;
+}
+
+}  // namespace celect::net

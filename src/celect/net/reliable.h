@@ -1,0 +1,171 @@
+// Per-peer reliability session over an unreliable datagram link.
+//
+// Gives the protocol layer exactly-once, in-order packet delivery on
+// top of a link that loses, duplicates, reorders, and corrupts:
+//
+//   * a three-way-ish handshake (Hello / HelloAck) exchanging session
+//     epochs, so a restarted peer — which lost all session state — is
+//     detected (its epoch changed) and both directions resync instead
+//     of feeding stale sequence numbers and acks into a fresh process;
+//   * a sliding send window with per-frame retransmit timers, capped
+//     exponential backoff, and seeded jitter;
+//   * cumulative acks plus a selective-ack bitmask, duplicate
+//     suppression, and an out-of-order reassembly buffer;
+//   * a suspicion signal: when retransmits exhaust their budget with no
+//     progress, the peer is reported suspect exactly once per episode —
+//     the fault-tolerant election layer treats that as a crash hint.
+//
+// The class is a pure state machine: no clock, no sockets, no threads.
+// Time enters as an explicit `now` argument, randomness from a seeded
+// jitter stream, and output datagrams/delivered packets are pulled from
+// queues — which is what makes the differential chaos suite over
+// FakeLink bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "celect/net/clock.h"
+#include "celect/net/frame.h"
+#include "celect/util/rng.h"
+#include "celect/wire/packet.h"
+
+namespace celect::net {
+
+struct SessionParams {
+  std::uint32_t window = 32;       // max unacked data frames in flight
+  Micros rto_initial = 40'000;     // first retransmit timeout
+  Micros rto_max = 1'000'000;      // backoff ceiling
+  std::uint32_t jitter_pct = 25;   // +/- applied to every timeout
+  std::uint32_t max_retries = 8;   // budget before a frame is "exhausted"
+  // Consecutive exhaustion events (no ack progress in between) before
+  // the peer is reported suspect.
+  std::uint32_t suspicion_exhaustions = 1;
+  std::uint64_t seed = 1;          // jitter stream
+};
+
+struct SessionStats {
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t hello_acks_sent = 0;
+  std::uint64_t data_sent = 0;          // first transmissions
+  std::uint64_t data_retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t resets_sent = 0;
+  std::uint64_t delivered = 0;          // packets handed to the app
+  std::uint64_t duplicates = 0;         // already-delivered seqs dropped
+  std::uint64_t out_of_order = 0;       // frames buffered for reassembly
+  std::uint64_t dropped_beyond_window = 0;
+  std::uint64_t stale_epoch = 0;        // frames from a dead incarnation
+  std::uint64_t decode_errors = 0;      // checksummed-but-unparseable
+  std::uint64_t frame_errors = 0;       // framing/CRC rejects
+  std::uint64_t resets_received = 0;
+  std::uint64_t peer_restarts = 0;      // new remote epoch adopted
+  std::uint64_t exhaustions = 0;        // retransmit budgets spent
+  std::uint64_t suspicions = 0;         // suspect episodes signalled
+  std::uint64_t rtt_count = 0;
+  std::uint64_t rtt_sum_us = 0;
+  std::vector<Micros> rtt_samples;      // capped; for bench percentiles
+
+  void MergeFrom(const SessionStats& o);
+};
+
+class ReliableSession {
+ public:
+  // local_epoch must be nonzero and unique per incarnation of this
+  // node (tests pass counters; real transports use HostEpoch()).
+  ReliableSession(std::uint64_t local_epoch, const SessionParams& params);
+
+  // ---- inputs -------------------------------------------------------
+  // Begins the handshake (idempotent). SendPacket calls it implicitly.
+  void Start(Micros now);
+  // Queues a packet for exactly-once in-order delivery to the peer.
+  void SendPacket(const wire::Packet& p, Micros now);
+  // Feeds one received datagram through framing + the session machine.
+  void OnDatagram(const std::uint8_t* data, std::size_t size, Micros now);
+  // Drives retransmit and handshake timers.
+  void Tick(Micros now);
+
+  // ---- outputs (drained by the owning transport) --------------------
+  // Datagrams to put on the wire, in send order.
+  std::vector<std::vector<std::uint8_t>>& outbox() { return outbox_; }
+  // Packets delivered exactly once, in order.
+  std::vector<wire::Packet>& delivered() { return delivered_; }
+  // True at most once per suspicion episode; an episode ends when the
+  // peer shows life (ack progress, handshake, or restart).
+  bool TakeSuspect();
+  // True once per adopted remote-epoch change after the first.
+  bool TakePeerRestart();
+  // Earliest time Tick has work to do; nullopt when fully idle.
+  std::optional<Micros> NextWake() const;
+
+  bool established() const { return established_; }
+  std::uint64_t local_epoch() const { return local_epoch_; }
+  std::uint64_t remote_epoch() const { return remote_epoch_; }
+  std::size_t in_flight() const { return unacked_.size(); }
+  std::size_t queued() const { return pending_.size(); }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  struct Unacked {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> packet_bytes;  // wire::EncodeTo output
+    Micros first_sent = 0;
+    Micros next_retx = 0;
+    std::uint32_t retries = 0;
+    bool exhausted = false;
+  };
+
+  Micros Backoff(std::uint32_t retries);
+  std::uint64_t AckBits() const;
+  void EmitFrame(FrameKind kind, const std::vector<std::uint8_t>& payload);
+  void SendHello(Micros now);
+  void SendHelloAck(Micros now);
+  void SendAck();
+  void SendReset();
+  void TransmitData(Unacked& u, Micros now, bool retransmit);
+  void FillWindow(Micros now);
+  void ProcessAck(std::uint64_t cum, std::uint64_t bits, Micros now);
+  void NoteProgress();
+  void NoteExhaustion(Unacked* u);
+  void AdoptRemote(std::uint64_t epoch, std::uint64_t start_seq, Micros now);
+  std::uint64_t OldestUnsentOrUnacked() const;
+
+  void OnHello(const Frame& f, Micros now);
+  void OnHelloAck(const Frame& f, Micros now);
+  void OnData(const Frame& f, Micros now);
+  void OnAck(const Frame& f, Micros now);
+  void OnReset(const Frame& f, Micros now);
+
+  SessionParams params_;
+  Rng rng_;
+  std::uint64_t local_epoch_;
+  std::uint64_t remote_epoch_ = 0;
+
+  bool started_ = false;
+  bool established_ = false;
+  std::uint32_t hello_retries_ = 0;
+  Micros next_hello_at_ = 0;
+
+  std::uint64_t next_seq_ = 1;              // next data seq to assign
+  std::deque<Unacked> unacked_;             // in seq order
+  std::deque<std::vector<std::uint8_t>> pending_;  // beyond the window
+
+  std::uint64_t recv_next_ = 1;             // next in-order seq expected
+  std::map<std::uint64_t, wire::Packet> reorder_;  // ooo reassembly
+
+  std::uint32_t exhaustion_streak_ = 0;
+  bool suspect_pending_ = false;
+  bool suspect_signalled_ = false;
+  bool peer_restart_pending_ = false;
+  bool ack_dirty_ = false;
+
+  FrameDecoder decoder_;
+  std::vector<std::vector<std::uint8_t>> outbox_;
+  std::vector<wire::Packet> delivered_;
+  SessionStats stats_;
+};
+
+}  // namespace celect::net

@@ -1,0 +1,215 @@
+#include "celect/net/sim_net.h"
+
+#include "celect/util/check.h"
+
+namespace celect::net {
+
+// One endpoint of the mesh. Sessions are created lazily per peer (a
+// node only pays for peers it actually talks to) and rebuilt with a
+// fresh epoch after Restart.
+class SimNet::Node final : public Transport {
+ public:
+  Node(SimNet* net, PeerId self, std::uint64_t epoch)
+      : net_(net), self_(self), epoch_(epoch) {
+    sessions_.resize(net_->n());
+  }
+
+  PeerId self() const override { return self_; }
+  PeerId n() const override { return net_->n(); }
+  Micros Now() override { return net_->clock_.Now(); }
+
+  void Send(PeerId peer, const wire::Packet& p) override {
+    CELECT_DCHECK(peer < n() && peer != self_);
+    Session(peer).SendPacket(p, Now());
+    Flush(peer);
+  }
+
+  void Poll(std::vector<TransportEvent>& out) override {
+    Micros now = Now();
+    // Feed received datagrams first so acks suppress retransmits that
+    // would otherwise fire on this same Tick.
+    for (auto& [from, dgram] : inbox_) {
+      Session(from).OnDatagram(dgram.data(), dgram.size(), now);
+    }
+    inbox_.clear();
+    for (PeerId peer = 0; peer < n(); ++peer) {
+      auto* s = sessions_[peer].get();
+      if (s == nullptr) continue;
+      s->Tick(now);
+      for (auto& pkt : s->delivered()) {
+        out.push_back(
+            TransportEvent{TransportEvent::Kind::kPacket, peer, std::move(pkt)});
+      }
+      s->delivered().clear();
+      if (s->TakePeerRestart()) {
+        out.push_back(TransportEvent{TransportEvent::Kind::kPeerRestart, peer,
+                                     wire::Packet{}});
+      }
+      if (s->TakeSuspect()) {
+        out.push_back(
+            TransportEvent{TransportEvent::Kind::kSuspect, peer, wire::Packet{}});
+      }
+      Flush(peer);
+    }
+  }
+
+  std::optional<Micros> NextWake() const override {
+    std::optional<Micros> wake;
+    for (const auto& s : sessions_) {
+      if (s == nullptr) continue;
+      auto w = s->NextWake();
+      if (w && (!wake || *w < *wake)) wake = w;
+    }
+    return wake;
+  }
+
+  TransportStats Stats() const override {
+    TransportStats st = stats_;
+    for (const auto& s : sessions_) {
+      if (s != nullptr) st.sessions.MergeFrom(s->stats());
+    }
+    return st;
+  }
+
+  void Receive(PeerId from, std::vector<std::uint8_t> dgram) {
+    stats_.bytes_received += dgram.size();
+    ++stats_.datagrams_received;
+    inbox_.emplace_back(from, std::move(dgram));
+  }
+
+ private:
+  ReliableSession& Session(PeerId peer) {
+    auto& slot = sessions_[peer];
+    if (slot == nullptr) {
+      SessionParams params = net_->config_.session;
+      params.seed = SplitMix64(net_->config_.seed ^ (epoch_ * 0x9e37u) ^
+                               (std::uint64_t{self_} << 32) ^ peer)
+                        .Next();
+      slot = std::make_unique<ReliableSession>(epoch_, params);
+    }
+    return *slot;
+  }
+
+  void Flush(PeerId peer) {
+    auto& out = Session(peer).outbox();
+    Micros now = Now();
+    for (auto& dgram : out) {
+      stats_.bytes_sent += dgram.size();
+      ++stats_.datagrams_sent;
+      net_->Channel(self_, peer).Send(dgram, now);
+    }
+    out.clear();
+  }
+
+  SimNet* net_;
+  PeerId self_;
+  std::uint64_t epoch_;
+  std::vector<std::unique_ptr<ReliableSession>> sessions_;
+  std::deque<std::pair<PeerId, std::vector<std::uint8_t>>> inbox_;
+  TransportStats stats_;
+};
+
+SimNet::SimNet(const SimNetConfig& config)
+    : config_(config), alive_(config.n, true) {
+  CELECT_CHECK(config_.n >= 2) << "SimNet needs at least two nodes";
+  channels_.resize(std::size_t{config_.n} * config_.n);
+  for (PeerId from = 0; from < config_.n; ++from) {
+    for (PeerId to = 0; to < config_.n; ++to) {
+      if (from == to) continue;
+      FakeLinkParams lp = config_.link;
+      lp.seed = SplitMix64(config_.seed ^
+                           (std::uint64_t{from} * config_.n + to + 1))
+                    .Next();
+      channels_[std::size_t{from} * config_.n + to] =
+          std::make_unique<FakeLink>(lp);
+    }
+  }
+  nodes_.resize(config_.n);
+  for (PeerId i = 0; i < config_.n; ++i) {
+    nodes_[i] = std::make_unique<Node>(this, i, NextEpoch());
+  }
+}
+
+SimNet::~SimNet() = default;
+
+Transport& SimNet::at(PeerId i) {
+  CELECT_CHECK(i < config_.n);
+  return *nodes_[i];
+}
+
+FakeLink& SimNet::Channel(PeerId from, PeerId to) {
+  return *channels_[std::size_t{from} * config_.n + to];
+}
+
+const FakeLink& SimNet::Channel(PeerId from, PeerId to) const {
+  return *channels_[std::size_t{from} * config_.n + to];
+}
+
+void SimNet::Kill(PeerId i) {
+  CELECT_CHECK(i < config_.n);
+  alive_[i] = false;
+  // The process died: every byte of its session state is gone. The
+  // Transport object survives so references held by the driver stay
+  // valid, but it is rebuilt empty.
+  nodes_[i] = std::make_unique<Node>(this, i, 0);
+}
+
+void SimNet::Restart(PeerId i) {
+  CELECT_CHECK(i < config_.n);
+  alive_[i] = true;
+  nodes_[i] = std::make_unique<Node>(this, i, NextEpoch());
+}
+
+std::optional<Micros> SimNet::NextEvent() const {
+  std::optional<Micros> next;
+  auto consider = [&next](std::optional<Micros> t) {
+    if (t && (!next || *t < *next)) next = t;
+  };
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) consider(ch->NextDelivery());
+  }
+  for (PeerId i = 0; i < config_.n; ++i) {
+    if (alive_[i]) consider(nodes_[i]->NextWake());
+  }
+  return next;
+}
+
+void SimNet::DeliverDue() {
+  Micros now = clock_.Now();
+  std::vector<std::vector<std::uint8_t>> due;
+  for (PeerId from = 0; from < config_.n; ++from) {
+    for (PeerId to = 0; to < config_.n; ++to) {
+      if (from == to) continue;
+      due.clear();
+      Channel(from, to).DeliverDue(now, due);
+      if (!alive_[to]) continue;  // dropped on the dead host's floor
+      for (auto& dgram : due) nodes_[to]->Receive(from, std::move(dgram));
+    }
+  }
+}
+
+std::uint64_t SimNet::LinkSent() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) n += ch->sent();
+  }
+  return n;
+}
+
+std::uint64_t SimNet::LinkLost() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) n += ch->lost();
+  }
+  return n;
+}
+
+std::uint64_t SimNet::LinkCorrupted() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr) n += ch->corrupted();
+  }
+  return n;
+}
+
+}  // namespace celect::net

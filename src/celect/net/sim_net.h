@@ -1,0 +1,76 @@
+// In-memory transport: a complete network of FakeLinks on a VirtualClock.
+//
+// SimNet owns n Transport endpoints and the n*(n-1) directed chaos
+// channels between them. A driver (net::Cluster, tests) advances the
+// clock to the next interesting instant, calls DeliverDue() to move
+// datagrams whose delay expired into node inboxes, and Poll()s each
+// endpoint. Everything — link delays, loss, session jitter, epochs —
+// derives from the config seed, so a run is bit-reproducible.
+//
+// Kill/Restart model a process crash: a killed node loses all session
+// state and its in-flight traffic is discarded on arrival; a restarted
+// node comes back with a fresh session epoch, which is exactly what
+// the reliability layer's handshake has to detect and resync.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "celect/net/clock.h"
+#include "celect/net/fake_link.h"
+#include "celect/net/transport.h"
+
+namespace celect::net {
+
+struct SimNetConfig {
+  std::uint32_t n = 2;
+  FakeLinkParams link;      // per-channel chaos (seed is re-derived)
+  SessionParams session;    // per-session knobs (seed is re-derived)
+  std::uint64_t seed = 1;
+};
+
+class SimNet {
+ public:
+  explicit SimNet(const SimNetConfig& config);
+  ~SimNet();
+
+  std::uint32_t n() const { return config_.n; }
+  Transport& at(PeerId i);
+  VirtualClock& virtual_clock() { return clock_; }
+  bool alive(PeerId i) const { return alive_[i]; }
+
+  // Crash node i: session state and inbox are lost; traffic already in
+  // flight toward it is discarded when it arrives (unless i restarts
+  // first — late datagrams then hit the new incarnation, which is the
+  // stale-epoch case the handshake must reject).
+  void Kill(PeerId i);
+  // Revive node i with a fresh, unique session epoch.
+  void Restart(PeerId i);
+
+  // Earliest pending link delivery or session timer across the mesh.
+  std::optional<Micros> NextEvent() const;
+  // Moves every datagram due at clock_.Now() into node inboxes.
+  void DeliverDue();
+
+  // Aggregate link-level chaos counters (for tests and the bench).
+  std::uint64_t LinkSent() const;
+  std::uint64_t LinkLost() const;
+  std::uint64_t LinkCorrupted() const;
+
+ private:
+  class Node;
+
+  FakeLink& Channel(PeerId from, PeerId to);
+  const FakeLink& Channel(PeerId from, PeerId to) const;
+  std::uint64_t NextEpoch() { return ++epoch_counter_; }
+
+  SimNetConfig config_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<FakeLink>> channels_;  // [from * n + to]
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> alive_;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace celect::net

@@ -1,0 +1,71 @@
+// The transport seam.
+//
+// A Transport moves wire::Packets between the n nodes of a complete
+// network, reliably (each peer pair is backed by a ReliableSession).
+// Protocol engines — hosted behind sim::Process by PeerNode — run
+// unmodified over either implementation:
+//
+//   * SimNet        — in-memory, VirtualClock + FakeLink, deterministic;
+//   * UdpTransport  — real UDP sockets over localhost, MonotonicClock.
+//
+// Poll() surfaces three event kinds: delivered packets, peer-suspect
+// hints (retransmit exhaustion — the crash signal the fault-tolerant
+// election layer consumes), and peer-restart notices (a new session
+// epoch was adopted for a peer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "celect/net/clock.h"
+#include "celect/net/reliable.h"
+#include "celect/wire/packet.h"
+
+namespace celect::net {
+
+// Node index in [0, n).
+using PeerId = std::uint32_t;
+
+struct TransportEvent {
+  enum class Kind {
+    kPacket,       // packet holds a delivered message from peer
+    kSuspect,      // peer stopped acking; likely crashed
+    kPeerRestart,  // peer came back with a fresh session epoch
+  };
+  Kind kind = Kind::kPacket;
+  PeerId peer = 0;
+  wire::Packet packet;  // valid only for kPacket
+};
+
+struct TransportStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t send_loss_injected = 0;  // UDP chaos knob
+  SessionStats sessions;                 // aggregated over all peers
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual PeerId self() const = 0;
+  virtual PeerId n() const = 0;
+  virtual Micros Now() = 0;
+
+  // Queues p for exactly-once in-order delivery to peer.
+  virtual void Send(PeerId peer, const wire::Packet& p) = 0;
+
+  // Drives timers and the wire, appending any ready events to out.
+  virtual void Poll(std::vector<TransportEvent>& out) = 0;
+
+  // Earliest time Poll has scheduled work (retransmits, handshakes);
+  // nullopt when idle. Event-driven hosts sleep until then.
+  virtual std::optional<Micros> NextWake() const = 0;
+
+  virtual TransportStats Stats() const = 0;
+};
+
+}  // namespace celect::net

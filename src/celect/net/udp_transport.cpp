@@ -1,0 +1,154 @@
+#include "celect/net/udp_transport.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "celect/util/check.h"
+
+namespace celect::net {
+
+namespace {
+
+sockaddr_in PeerAddr(std::uint16_t base_port, PeerId peer) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port + peer));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const UdpTransportConfig& config)
+    : config_(config),
+      loss_rng_(SplitMix64(config.seed ^ 0x10551055ULL).Next()),
+      epoch_(config.epoch != 0 ? config.epoch : HostEpoch()) {
+  sessions_.resize(config_.n);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpTransport::Open() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = PeerAddr(config_.base_port, config_.self);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  return true;
+}
+
+ReliableSession& UdpTransport::Session(PeerId peer) {
+  auto& slot = sessions_[peer];
+  if (slot == nullptr) {
+    SessionParams params = config_.session;
+    params.seed =
+        SplitMix64(config_.seed ^ epoch_ ^ (std::uint64_t{peer} << 20))
+            .Next();
+    slot = std::make_unique<ReliableSession>(epoch_, params);
+  }
+  return *slot;
+}
+
+void UdpTransport::Flush(PeerId peer) {
+  auto& out = Session(peer).outbox();
+  sockaddr_in addr = PeerAddr(config_.base_port, peer);
+  for (auto& dgram : out) {
+    if (config_.send_loss > 0 &&
+        loss_rng_.NextDouble() < config_.send_loss) {
+      ++stats_.send_loss_injected;
+      continue;
+    }
+    ++stats_.datagrams_sent;
+    stats_.bytes_sent += dgram.size();
+    ::sendto(fd_, dgram.data(), dgram.size(), 0,
+             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  out.clear();
+}
+
+void UdpTransport::Send(PeerId peer, const wire::Packet& p) {
+  CELECT_DCHECK(peer < config_.n && peer != config_.self);
+  Session(peer).SendPacket(p, Now());
+  Flush(peer);
+}
+
+void UdpTransport::DrainSocket() {
+  std::uint8_t buf[2048];
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t got = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got <= 0) return;  // EWOULDBLOCK or error: nothing more to read
+    std::uint16_t port = ntohs(from.sin_port);
+    if (port < config_.base_port ||
+        port >= config_.base_port + config_.n) {
+      continue;  // not one of ours
+    }
+    PeerId peer = static_cast<PeerId>(port - config_.base_port);
+    if (peer == config_.self) continue;
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(got);
+    Session(peer).OnDatagram(buf, static_cast<std::size_t>(got), Now());
+  }
+}
+
+void UdpTransport::Poll(std::vector<TransportEvent>& out) {
+  if (fd_ < 0) return;
+  DrainSocket();
+  Micros now = Now();
+  for (PeerId peer = 0; peer < config_.n; ++peer) {
+    auto* s = sessions_[peer].get();
+    if (s == nullptr) continue;
+    s->Tick(now);
+    for (auto& pkt : s->delivered()) {
+      out.push_back(
+          TransportEvent{TransportEvent::Kind::kPacket, peer, std::move(pkt)});
+    }
+    s->delivered().clear();
+    if (s->TakePeerRestart()) {
+      out.push_back(TransportEvent{TransportEvent::Kind::kPeerRestart, peer,
+                                   wire::Packet{}});
+    }
+    if (s->TakeSuspect()) {
+      out.push_back(
+          TransportEvent{TransportEvent::Kind::kSuspect, peer, wire::Packet{}});
+    }
+    Flush(peer);
+  }
+}
+
+std::optional<Micros> UdpTransport::NextWake() const {
+  std::optional<Micros> wake;
+  for (const auto& s : sessions_) {
+    if (s == nullptr) continue;
+    auto w = s->NextWake();
+    if (w && (!wake || *w < *wake)) wake = w;
+  }
+  return wake;
+}
+
+TransportStats UdpTransport::Stats() const {
+  TransportStats st = stats_;
+  for (const auto& s : sessions_) {
+    if (s != nullptr) st.sessions.MergeFrom(s->stats());
+  }
+  return st;
+}
+
+}  // namespace celect::net

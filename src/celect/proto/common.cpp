@@ -34,4 +34,14 @@ void ElectionProcess::OnTimerFired(sim::Context& ctx, sim::TimerId timer) {
   (void)timer;
 }
 
+void ElectionProcess::OnPeerSuspected(sim::Context& ctx, sim::Port port) {
+  if (!awake_) return;  // suspicion is not a wakeup
+  OnSuspicion(ctx, port);
+}
+
+void ElectionProcess::OnSuspicion(sim::Context& ctx, sim::Port port) {
+  (void)ctx;
+  (void)port;
+}
+
 }  // namespace celect::proto

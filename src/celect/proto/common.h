@@ -31,6 +31,7 @@ class ElectionProcess : public sim::Process {
   void OnMessage(sim::Context& ctx, sim::Port from_port,
                  const wire::Packet& p) final;
   void OnTimer(sim::Context& ctx, sim::TimerId timer) final;
+  void OnPeerSuspected(sim::Context& ctx, sim::Port port) final;
 
   bool awake() const { return awake_; }
   // True iff this node woke spontaneously before hearing any message —
@@ -48,6 +49,12 @@ class ElectionProcess : public sim::Process {
   // after the node was awake, so no wakeup bookkeeping is needed. Default:
   // ignore (the paper's protocols are asynchronous and arm no timers).
   virtual void OnTimerFired(sim::Context& ctx, sim::TimerId timer);
+  // The transport suspects the node behind `port` crashed. Delivered
+  // only while awake — a sleeping node has sent nothing, so it can have
+  // no in-flight traffic to time out, and a suspicion hint must not act
+  // as a wakeup (only protocol messages may wake a node). Default:
+  // ignore, matching the crash-free protocols.
+  virtual void OnSuspicion(sim::Context& ctx, sim::Port port);
 
  private:
   bool awake_ = false;

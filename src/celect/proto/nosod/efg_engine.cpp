@@ -756,6 +756,27 @@ class EfgNode : public ElectionProcess {
     ctx.EndPhase(obs::PhaseId::kRecovery);
   }
 
+  // A transport-level crash hint for the node behind `port`. The
+  // reliability layer only raises it after exhausting its own
+  // retransmit budget, so waiting out the full recovery period for a
+  // reply that can no longer arrive is wasted time: fast-forward the
+  // pending capture on that port — mark it expired and out of retries —
+  // and run the watchdog now. Everything else (locks, owner watches,
+  // broadcast retries) keeps its timer-driven pace: those loops probe
+  // nodes that may merely be slow, and the suspicion hint is allowed to
+  // be wrong.
+  void OnSuspicion(Context& ctx, sim::Port port) override {
+    if (!Ft()) return;
+    auto it = pending_caps_.find(port);
+    if (it == pending_caps_.end()) return;
+    it->second.retries = kMaxCaptureRetries;
+    it->second.sent = ctx.now() - kRecoveryPeriod;
+    ctx.AddCounter(ctx.ResolveCounter(kCounterSuspicions), 1);
+    ctx.BeginPhase(obs::PhaseId::kRecovery);
+    OnCaptureWatchdog(ctx);
+    ctx.EndPhase(obs::PhaseId::kRecovery);
+  }
+
   void DispatchTimer(Context& ctx, sim::TimerId timer) {
     if (timer == cap_timer_) {
       cap_timer_ = sim::kInvalidTimer;

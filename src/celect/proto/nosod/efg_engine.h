@@ -106,5 +106,8 @@ sim::ProcessFactory MakeEfgProcess(EfgParams params);
 // Counters surfaced via RunResult::counters.
 inline constexpr char kCounterBroadcasters[] = "f.broadcasters";
 inline constexpr char kCounterFwdQueuePeak[] = "f.fwd_queue_peak";
+// Transport crash hints (Process::OnPeerSuspected) the FT engine acted
+// on by fast-forwarding a pending capture's watchdog.
+inline constexpr char kCounterSuspicions[] = "f.suspicions_acted";
 
 }  // namespace celect::proto::nosod

@@ -108,6 +108,18 @@ class LeaseProcess : public sim::Process {
     // else: a timer of a discarded inner instance — stale, ignore.
   }
 
+  void OnPeerSuspected(Context& ctx, Port port) override {
+    // The lease layer's own liveness comes from its watchdog/renew
+    // timers, which fire regardless of any one peer — a crash hint
+    // changes nothing there. The inner election, though, may be
+    // waiting on the suspected node; forward so its recovery path can
+    // act early. The wrapped context keeps the inner engine's sends
+    // term-tagged, same as every other forwarded callback.
+    if (inner_ == nullptr) return;
+    TermContext tctx(*this, ctx);
+    inner_->OnPeerSuspected(tctx, port);
+  }
+
   sim::ProtocolObservables Observe() const override {
     sim::ProtocolObservables o;
     o.monotone.emplace_back("lease.term", term_);

@@ -167,6 +167,19 @@ class Process {
     (void)timer;
   }
 
+  // The transport suspects the node behind `port` has crashed (its
+  // reliability session exhausted a retransmit budget with no ack
+  // progress). A *hint*, not an oracle: the peer may merely be slow or
+  // partitioned, and may ack again later. Fault-tolerant layers treat
+  // it like an early timer — kick their recovery path for that port —
+  // while the paper's crash-free protocols ignore it. Only transports
+  // with a reliability layer (net/) ever raise it; the in-simulator
+  // delivery model has no retransmits and never calls it.
+  virtual void OnPeerSuspected(Context& ctx, Port port) {
+    (void)ctx;
+    (void)port;
+  }
+
   // This node was just revived by a RejoinEvent. Called once, on the
   // *fresh* process instance the runtime built to replace the crashed
   // one — there is no state to recover; the hook exists so churn-aware

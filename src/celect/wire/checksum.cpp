@@ -3,12 +3,9 @@
 namespace celect::wire {
 
 std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  Fnv1aStream s;
+  s.Update(data, size);
+  return s.Digest64();
 }
 
 std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data) {

@@ -14,4 +14,33 @@ std::uint64_t Fnv1a64(const std::vector<std::uint8_t>& data);
 std::uint32_t Checksum32(const std::uint8_t* data, std::size_t size);
 std::uint32_t Checksum32(const std::vector<std::uint8_t>& data);
 
+// Incremental FNV-1a: feed bytes as they are produced, read the digest
+// at any point. Digest64()/Digest32() over the bytes fed so far equal
+// the one-shot Fnv1a64/Checksum32 of the concatenation, so a frame
+// encoder can checksum header and payload as it emits them instead of
+// assembling a contiguous copy first.
+class Fnv1aStream {
+ public:
+  void Update(std::uint8_t byte) {
+    h_ ^= byte;
+    h_ *= 0x100000001b3ULL;
+  }
+  void Update(const std::uint8_t* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) Update(data[i]);
+  }
+  void Update(const std::vector<std::uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+
+  std::uint64_t Digest64() const { return h_; }
+  std::uint32_t Digest32() const {
+    return static_cast<std::uint32_t>(h_ ^ (h_ >> 32));
+  }
+
+  void Reset() { h_ = 0xcbf29ce484222325ULL; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
 }  // namespace celect::wire

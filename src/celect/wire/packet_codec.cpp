@@ -38,6 +38,8 @@ std::string ToString(const Packet& p) {
 }
 
 void EncodeTo(const Packet& p, std::vector<std::uint8_t>& out) {
+  CELECT_DCHECK(p.fields.size() <= kMaxPacketFields)
+      << "packet type " << p.type << " exceeds the decoder's field bound";
   std::size_t start = out.size();
   PutVarint(out, p.type);
   PutVarint(out, p.fields.size());
@@ -61,30 +63,108 @@ std::size_t EncodedSize(const Packet& p) {
   return n + 4;  // checksum
 }
 
-std::optional<Packet> Decode(const std::uint8_t* data, std::size_t size) {
+const char* ToString(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kOverlongVarint:
+      return "overlong-varint";
+    case DecodeStatus::kValueOverflow:
+      return "value-overflow";
+    case DecodeStatus::kBadType:
+      return "bad-type";
+    case DecodeStatus::kOversizedFrame:
+      return "oversized-frame";
+    case DecodeStatus::kTooManyFields:
+      return "too-many-fields";
+    case DecodeStatus::kBadChecksum:
+      return "bad-checksum";
+    case DecodeStatus::kTrailingGarbage:
+      return "trailing-garbage";
+  }
+  return "?";
+}
+
+namespace {
+
+DecodeStatus StatusOf(VarintError e) {
+  switch (e) {
+    case VarintError::kOverlong:
+      return DecodeStatus::kOverlongVarint;
+    case VarintError::kOverflow:
+      return DecodeStatus::kValueOverflow;
+    case VarintError::kTruncated:
+    case VarintError::kNone:
+      break;
+  }
+  return DecodeStatus::kTruncated;
+}
+
+}  // namespace
+
+std::optional<Packet> Decode(const std::uint8_t* data, std::size_t size,
+                             DecodeStatus& status) {
+  if (size > kMaxEncodedPacketBytes) {
+    status = DecodeStatus::kOversizedFrame;
+    return std::nullopt;
+  }
   VarintReader reader(data, size);
   auto type = reader.ReadVarint();
-  if (!type || *type > 0xFFFF) return std::nullopt;
+  if (!type) {
+    status = StatusOf(reader.error());
+    return std::nullopt;
+  }
+  if (*type > 0xFFFF) {
+    status = DecodeStatus::kBadType;
+    return std::nullopt;
+  }
   auto count = reader.ReadVarint();
-  if (!count || *count > size) return std::nullopt;  // cheap sanity bound
+  if (!count) {
+    status = StatusOf(reader.error());
+    return std::nullopt;
+  }
+  if (*count > kMaxPacketFields) {
+    status = DecodeStatus::kTooManyFields;
+    return std::nullopt;
+  }
   Packet p;
   p.type = static_cast<std::uint16_t>(*type);
   p.fields.reserve(*count);
   for (std::uint64_t i = 0; i < *count; ++i) {
     auto f = reader.ReadSignedVarint();
-    if (!f) return std::nullopt;
+    if (!f) {
+      status = StatusOf(reader.error());
+      return std::nullopt;
+    }
     p.fields.push_back(*f);
   }
   std::size_t body_end = reader.position();
   std::uint32_t expect = 0;
   for (int i = 0; i < 4; ++i) {
     auto b = reader.ReadByte();
-    if (!b) return std::nullopt;
+    if (!b) {
+      status = DecodeStatus::kTruncated;
+      return std::nullopt;
+    }
     expect |= static_cast<std::uint32_t>(*b) << (8 * i);
   }
-  if (Checksum32(data, body_end) != expect) return std::nullopt;
-  if (!reader.AtEnd()) return std::nullopt;  // trailing garbage
+  if (Checksum32(data, body_end) != expect) {
+    status = DecodeStatus::kBadChecksum;
+    return std::nullopt;
+  }
+  if (!reader.AtEnd()) {
+    status = DecodeStatus::kTrailingGarbage;
+    return std::nullopt;
+  }
+  status = DecodeStatus::kOk;
   return p;
+}
+
+std::optional<Packet> Decode(const std::uint8_t* data, std::size_t size) {
+  DecodeStatus status;
+  return Decode(data, size, status);
 }
 
 std::optional<Packet> Decode(const std::vector<std::uint8_t>& buf) {

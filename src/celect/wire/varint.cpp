@@ -36,18 +36,48 @@ std::size_t SignedVarintSize(std::int64_t v) {
   return VarintSize(ZigzagEncode(v));
 }
 
+const char* ToString(VarintError e) {
+  switch (e) {
+    case VarintError::kNone:
+      return "none";
+    case VarintError::kTruncated:
+      return "truncated";
+    case VarintError::kOverlong:
+      return "overlong";
+    case VarintError::kOverflow:
+      return "overflow";
+  }
+  return "?";
+}
+
 std::optional<std::uint64_t> VarintReader::ReadVarint() {
   std::uint64_t result = 0;
   int shift = 0;
   while (pos_ < size_) {
     std::uint8_t byte = data_[pos_++];
-    if (shift == 63 && (byte & 0xFE) != 0) return std::nullopt;  // overflow
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      error_ = VarintError::kOverflow;
+      return std::nullopt;
+    }
     result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return result;
+    if ((byte & 0x80) == 0) {
+      // Canonical form: the final group carries at least one bit unless
+      // the whole value is a single-byte zero.
+      if (shift > 0 && byte == 0) {
+        error_ = VarintError::kOverlong;
+        return std::nullopt;
+      }
+      error_ = VarintError::kNone;
+      return result;
+    }
     shift += 7;
-    if (shift > 63) return std::nullopt;
+    if (shift > 63) {
+      error_ = VarintError::kOverflow;
+      return std::nullopt;
+    }
   }
-  return std::nullopt;  // truncated
+  error_ = VarintError::kTruncated;
+  return std::nullopt;
 }
 
 std::optional<std::int64_t> VarintReader::ReadSignedVarint() {
@@ -57,7 +87,11 @@ std::optional<std::int64_t> VarintReader::ReadSignedVarint() {
 }
 
 std::optional<std::uint8_t> VarintReader::ReadByte() {
-  if (pos_ >= size_) return std::nullopt;
+  if (pos_ >= size_) {
+    error_ = VarintError::kTruncated;
+    return std::nullopt;
+  }
+  error_ = VarintError::kNone;
   return data_[pos_++];
 }
 

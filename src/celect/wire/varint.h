@@ -22,7 +22,24 @@ std::size_t SignedVarintSize(std::int64_t v);
 std::uint64_t ZigzagEncode(std::int64_t v);
 std::int64_t ZigzagDecode(std::uint64_t v);
 
-// Cursor-based decoding; returns nullopt on truncated or overlong input.
+// Why a read failed. The decoder is strict: besides truncation and
+// 64-bit overflow it rejects *overlong* (non-canonical) encodings — a
+// continuation chain whose final group is all zero, e.g. {0x80, 0x00}
+// for 0. The encoder never emits them, so on the wire they can only be
+// corruption or an attacker-controlled alternate spelling; accepting
+// them would let two distinct byte strings decode to the same packet
+// (and silently survive the re-encode identity the fuzz suite pins).
+enum class VarintError {
+  kNone = 0,
+  kTruncated,  // ran out of bytes mid-chain
+  kOverlong,   // non-canonical encoding (redundant trailing zero group)
+  kOverflow,   // value exceeds 64 bits
+};
+
+const char* ToString(VarintError e);
+
+// Cursor-based decoding; returns nullopt on truncated, overlong, or
+// overflowing input, with the cause readable via error().
 class VarintReader {
  public:
   VarintReader(const std::uint8_t* data, std::size_t size)
@@ -40,10 +57,14 @@ class VarintReader {
   std::size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
+  // The cause of the most recent failed Read*; kNone after a success.
+  VarintError error() const { return error_; }
+
  private:
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
+  VarintError error_ = VarintError::kNone;
 };
 
 }  // namespace celect::wire

@@ -1,0 +1,192 @@
+// Framing-layer tests: encode/decode round trips under arbitrary
+// chunking, resync after garbage and corruption, and the hard payload
+// bound. All seeded — failures reproduce bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "celect/net/frame.h"
+#include "celect/util/rng.h"
+
+namespace celect::net {
+namespace {
+
+std::vector<std::uint8_t> RandomPayload(Rng& rng, std::size_t max) {
+  std::vector<std::uint8_t> p(rng.NextBelow(max + 1));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+  return p;
+}
+
+FrameKind RandomKind(Rng& rng) {
+  return static_cast<FrameKind>(1 + rng.NextBelow(5));
+}
+
+TEST(NetFrame, RoundTripSingleFrame) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 0xCE, 0x17, 0xFF};
+  std::vector<std::uint8_t> buf;
+  EncodeFrame(FrameKind::kData, payload, buf);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_EQ(dec.PushBytes(buf.data(), buf.size(), out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, FrameKind::kData);
+  EXPECT_EQ(out[0].payload, payload);
+  EXPECT_EQ(dec.errors(), 0u);
+}
+
+TEST(NetFrame, EmptyPayloadRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  EncodeFrame(FrameKind::kHello, nullptr, 0, buf);
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  EXPECT_EQ(dec.PushBytes(buf.data(), buf.size(), out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(NetFrame, ArbitraryChunkingIsTransparent) {
+  Rng rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> stream;
+    std::size_t count = 1 + rng.NextBelow(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      Frame f{RandomKind(rng), RandomPayload(rng, 100)};
+      EncodeFrame(f.kind, f.payload, stream);
+      sent.push_back(std::move(f));
+    }
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      std::size_t chunk = std::min<std::size_t>(1 + rng.NextBelow(13),
+                                                stream.size() - pos);
+      dec.PushBytes(stream.data() + pos, chunk, got);
+      pos += chunk;
+    }
+    ASSERT_EQ(got.size(), sent.size()) << trial;
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].kind, sent[i].kind) << trial;
+      EXPECT_EQ(got[i].payload, sent[i].payload) << trial;
+    }
+    EXPECT_EQ(dec.errors(), 0u) << trial;
+  }
+}
+
+TEST(NetFrame, ResyncsAfterLeadingGarbage) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage = RandomPayload(rng, 40);
+    // Garbage containing the magic byte could eat the real frame's
+    // start (it still must not crash); keep this case exact by
+    // scrubbing 0xCE from the prefix.
+    for (auto& b : garbage) {
+      if (b == kFrameMagic0) b = 0x00;
+    }
+    std::vector<std::uint8_t> stream = garbage;
+    Frame f{RandomKind(rng), RandomPayload(rng, 60)};
+    EncodeFrame(f.kind, f.payload, stream);
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    dec.PushBytes(stream.data(), stream.size(), got);
+    ASSERT_EQ(got.size(), 1u) << trial;
+    EXPECT_EQ(got[0].kind, f.kind) << trial;
+    EXPECT_EQ(got[0].payload, f.payload) << trial;
+    EXPECT_EQ(dec.garbage_bytes(), garbage.size()) << trial;
+  }
+}
+
+TEST(NetFrame, CorruptionIsCountedAndFollowingFramesRecovered) {
+  // Corrupt the first frame's payload; the decoder must reject it on
+  // checksum and pick up the second frame at its magic boundary.
+  std::vector<std::uint8_t> first_payload(20, 0xAB);
+  std::vector<std::uint8_t> second_payload = {9, 8, 7};
+  std::vector<std::uint8_t> stream;
+  EncodeFrame(FrameKind::kData, first_payload, stream);
+  std::size_t first_len = stream.size();
+  EncodeFrame(FrameKind::kAck, second_payload, stream);
+  stream[10] ^= 0x40;  // inside the first payload
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  dec.PushBytes(stream.data(), stream.size(), got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].kind, FrameKind::kAck);
+  EXPECT_EQ(got[0].payload, second_payload);
+  EXPECT_GE(dec.errors(), 1u);
+  (void)first_len;
+}
+
+TEST(NetFrame, OversizedLengthRejectedBeforeBuffering) {
+  // Hand-build a header claiming a payload far over the cap; the
+  // decoder must error out at the length field.
+  std::vector<std::uint8_t> stream = {kFrameMagic0, kFrameMagic1,
+                                      static_cast<std::uint8_t>(
+                                          FrameKind::kData),
+                                      0xFF, 0xFF, 0x7F};  // ~2M length
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  dec.PushBytes(stream.data(), stream.size(), got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(dec.errors(), 1u);
+}
+
+TEST(NetFrame, InvalidKindRejected) {
+  std::vector<std::uint8_t> stream = {kFrameMagic0, kFrameMagic1, 0x77};
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  dec.PushBytes(stream.data(), stream.size(), got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(dec.errors(), 1u);
+}
+
+TEST(NetFrame, TruncatedDatagramFlushCountsError) {
+  std::vector<std::uint8_t> buf;
+  EncodeFrame(FrameKind::kData, std::vector<std::uint8_t>(30, 1), buf);
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  dec.PushBytes(buf.data(), buf.size() / 2, got);  // half a datagram
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(dec.FlushTruncated());
+  EXPECT_EQ(dec.errors(), 1u);
+  // And the decoder is clean again: a full frame parses.
+  dec.PushBytes(buf.data(), buf.size(), got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_FALSE(dec.FlushTruncated());
+}
+
+TEST(NetFrame, RandomGarbageFuzzNeverCrashes) {
+  Rng rng(31415);
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto junk = RandomPayload(rng, 50);
+    dec.PushBytes(junk.data(), junk.size(), got);
+  }
+  // Every emitted frame, if any, passed a 32-bit checksum over random
+  // bytes — astronomically unlikely; mostly this pins "no crash".
+  EXPECT_LE(got.size(), 2u);
+}
+
+TEST(NetFrame, BitFlipFuzzNeverYieldsWrongPayload) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Frame f{RandomKind(rng), RandomPayload(rng, 80)};
+    std::vector<std::uint8_t> buf;
+    EncodeFrame(f.kind, f.payload, buf);
+    std::uint64_t bit = rng.NextBelow(buf.size() * 8);
+    buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    dec.PushBytes(buf.data(), buf.size(), got);
+    if (got.size() == 1) {
+      // Only a flip the checksum cannot see (inside the magic pair it
+      // could not be — that kills the frame) may survive; payload must
+      // be identical or the frame must have been rejected.
+      EXPECT_EQ(got[0].payload, f.payload) << trial;
+      EXPECT_EQ(got[0].kind, f.kind) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace celect::net

@@ -759,14 +759,15 @@ void Linter::CheckLayering(SourceFile& f) {
       {"wire", {"wire", "util"}},
       {"obs", {"obs", "sim", "util"}},
       {"sim", {"sim", "wire", "obs", "util"}},
+      {"net", {"net", "sim", "obs", "wire", "util"}},
       {"topo", {"topo", "sim", "util"}},
       {"proto", {"proto", "sim", "topo", "obs", "wire", "util"}},
       {"adversary", {"adversary", "sim", "topo", "util"}},
       {"apps", {"apps", "proto", "sim", "util"}},
       {"analysis", {"analysis", "obs", "proto", "sim", "util"}},
       {"harness",
-       {"harness", "adversary", "analysis", "apps", "obs", "proto", "sim",
-        "topo", "util", "wire"}},
+       {"harness", "adversary", "analysis", "apps", "net", "obs", "proto",
+        "sim", "topo", "util", "wire"}},
   };
   auto allowed = kAllowed.find(f.dir);
   // Raw lines: include paths are string literals, which the stripped
