@@ -12,8 +12,17 @@
 //
 //   ./distributed_demo [--n=16] [--f=2] [--loss=0.10] [--kills=2]
 //                      [--seed=1] [--base-port=47100] [--timeout-s=60]
+//                      [--trace-dir=PATH]
+//
+// With --trace-dir every child records a causal trace and flushes it as
+// a shard file (atomic tmp+rename, so a SIGKILLed victim's last flush
+// always parses), ships metrics snapshots to the supervisor over the
+// report pipe, and on orderly shutdown (SIGTERM) writes a final
+// complete shard. Merge the shards afterwards with
+// `celect_trace merge DIR/shard-*.trace`.
 //
 // Exits 0 on agreement, 1 on timeout/split, 2 if sockets cannot bind.
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -22,6 +31,7 @@
 #include <cstring>
 #include <fcntl.h>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -30,6 +40,7 @@
 #include "celect/net/clock.h"
 #include "celect/net/peer_node.h"
 #include "celect/net/udp_transport.h"
+#include "celect/obs/shard.h"
 #include "celect/proto/nosod/fault_tolerant.h"
 #include "celect/util/flags.h"
 #include "celect/util/rng.h"
@@ -47,7 +58,38 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint16_t base_port = 47100;
   std::uint64_t timeout_s = 60;
+  std::string trace_dir;  // empty = observability off
 };
+
+volatile std::sig_atomic_t g_terminate = 0;
+void OnTerm(int) { g_terminate = 1; }
+
+// Best-effort shard flush: serialize, write to a tmp file, rename into
+// place. The rename is atomic, so a reader (or the post-run merge)
+// never sees a half-written shard — a SIGKILL between flushes just
+// means the last complete=false flush is the incarnation's record.
+void WriteShard(const std::string& dir, const net::PeerNode& node,
+                bool complete) {
+  obs::TraceShard shard = node.MakeShard(complete);
+  std::string text = obs::SerializeShard(shard);
+  std::string base = dir + "/shard-n" + std::to_string(shard.node) +
+                     "-e" + std::to_string(shard.epoch) + ".trace";
+  std::string tmp = base + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  std::size_t off = 0;
+  while (off < text.size()) {
+    ssize_t put = ::write(fd, text.data() + off, text.size() - off);
+    if (put <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  ::close(fd);
+  ::rename(tmp.c_str(), base.c_str());
+}
 
 // Seed-shuffled distinct identities, stable across a node's restarts:
 // a revived process is the same contestant, minus its memory.
@@ -62,9 +104,10 @@ std::vector<sim::Id> MakeIds(std::uint32_t n, std::uint64_t seed) {
 }
 
 // Child main: never returns. Reports over write_fd with single lines:
-//   "B <node> <leader>\n"  belief changed
-//   "D <node> <leader>\n"  declared itself leader
-//   "E <node>\n"           socket bind failed
+//   "B <node> <leader>\n"   belief changed
+//   "D <node> <leader>\n"   declared itself leader
+//   "E <node>\n"            socket bind failed
+//   "M <node> <compact>\n"  metrics snapshot (trace mode only)
 [[noreturn]] void RunChild(std::uint32_t index, const Options& opt,
                            sim::Id id, bool rejoin, int write_fd) {
   net::UdpTransportConfig tc;
@@ -84,10 +127,17 @@ std::vector<sim::Id> MakeIds(std::uint32_t n, std::uint64_t seed) {
   net::PeerNodeConfig pc;
   pc.id = id;
   pc.rejoin = rejoin;
+  const bool tracing = !opt.trace_dir.empty();
+  if (tracing) {
+    pc.trace = true;
+    std::signal(SIGTERM, OnTerm);
+  }
   net::PeerNode node(pc, transport, proto::nosod::MakeFaultTolerant(opt.f));
 
   std::optional<sim::Id> reported;
   bool declared = false;
+  Micros next_flush = 0;
+  Micros next_metrics = 0;
   for (;;) {
     node.Pump();
     if (node.declared_self() && !declared) {
@@ -99,6 +149,23 @@ std::vector<sim::Id> MakeIds(std::uint32_t n, std::uint64_t seed) {
       reported = node.leader();
       dprintf(write_fd, "B %u %lld\n", index,
               static_cast<long long>(*reported));
+    }
+    if (tracing) {
+      if (g_terminate) {
+        // Orderly shutdown: one last complete shard, then out.
+        WriteShard(opt.trace_dir, node, /*complete=*/true);
+        _exit(0);
+      }
+      Micros now = transport.Now();
+      if (now >= next_flush) {
+        WriteShard(opt.trace_dir, node, /*complete=*/false);
+        next_flush = now + 300'000;
+      }
+      if (now >= next_metrics) {
+        dprintf(write_fd, "M %u %s\n", index,
+                node.SnapshotMetrics().SerializeCompact().c_str());
+        next_metrics = now + 500'000;
+      }
     }
     if (getppid() == 1) _exit(0);  // orphaned: the parent is gone
     ::usleep(200);
@@ -171,6 +238,17 @@ class Supervisor {
       while ((nl = c.buffer.find('\n')) != std::string::npos) {
         std::string line = c.buffer.substr(0, nl);
         c.buffer.erase(0, nl + 1);
+        if (line.compare(0, 2, "M ") == 0) {
+          // Metrics snapshot: latest one per node wins (it subsumes
+          // every earlier snapshot of the same incarnation).
+          std::size_t sp = line.find(' ', 2);
+          if (sp != std::string::npos && c.alive) {
+            auto parsed =
+                obs::MetricsRegistry::ParseCompact(line.substr(sp + 1));
+            if (parsed) metrics_[i] = std::move(*parsed);
+          }
+          continue;
+        }
         char kind = 0;
         unsigned index = 0;
         long long leader = 0;
@@ -198,17 +276,50 @@ class Supervisor {
     return belief;
   }
 
+  // Orderly teardown: SIGTERM first so tracing children flush their
+  // final complete shard, escalating to SIGKILL after a grace period.
   void KillAll() {
     for (Child& c : children_) {
-      if (c.alive) {
-        ::kill(c.pid, SIGKILL);
-        ::waitpid(c.pid, nullptr, 0);
-        c.alive = false;
+      if (c.alive) ::kill(c.pid, SIGTERM);
+    }
+    Micros waited = 0;
+    for (Child& c : children_) {
+      if (!c.alive) continue;
+      for (;;) {
+        pid_t reaped = ::waitpid(c.pid, nullptr, WNOHANG);
+        if (reaped == c.pid || reaped < 0) break;
+        if (waited >= 2'000'000) {
+          ::kill(c.pid, SIGKILL);
+          ::waitpid(c.pid, nullptr, 0);
+          break;
+        }
+        ::usleep(10'000);
+        waited += 10'000;
       }
+      c.alive = false;
+    }
+    for (Child& c : children_) {
       if (c.fd >= 0) {
         ::close(c.fd);
         c.fd = -1;
       }
+    }
+  }
+
+  // Cluster-wide fold of the latest metrics snapshot per node.
+  void PrintMetrics() const {
+    if (metrics_.empty()) return;
+    obs::MetricsRegistry all;
+    for (const auto& [node, m] : metrics_) all.MergeFrom(m);
+    std::cout << "merged metrics (" << metrics_.size()
+              << " reporting nodes):\n";
+    for (const auto& [name, value] : all.counters()) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+    for (const auto& [name, h] : all.histograms()) {
+      std::cout << "  " << name << ": count=" << h.count()
+                << " mean=" << h.mean() << " p99=" << h.ApproxQuantile(0.99)
+                << "\n";
     }
   }
 
@@ -269,6 +380,10 @@ class Supervisor {
                     << (clock.Now() / 1000) << " ms ("
                     << declared_.size() << " declaration(s) seen)\n";
           KillAll();
+          PrintMetrics();
+          if (!opt_.trace_dir.empty()) {
+            std::cout << "trace shards in " << opt_.trace_dir << "\n";
+          }
           return 0;
         }
       }
@@ -293,6 +408,7 @@ class Supervisor {
   std::vector<sim::Id> ids_;
   std::vector<Child> children_;
   std::set<sim::Id> declared_;
+  std::map<std::uint32_t, obs::MetricsRegistry> metrics_;
   bool bind_failed_ = false;
 };
 
@@ -314,6 +430,9 @@ int main(int argc, char** argv) {
       flags.GetInt("base-port", 47100, "first UDP port on 127.0.0.1"));
   opt.timeout_s = static_cast<std::uint64_t>(
       flags.GetInt("timeout-s", 60, "give up after this many seconds"));
+  opt.trace_dir = flags.GetString(
+      "trace-dir", "",
+      "write per-process trace shards here (and ship metrics)");
   if (flags.help_requested()) {
     std::cout << flags.HelpText();
     return 0;
@@ -321,6 +440,9 @@ int main(int argc, char** argv) {
   if (opt.n < 2) {
     std::cerr << "need at least two processes\n";
     return 2;
+  }
+  if (!opt.trace_dir.empty()) {
+    ::mkdir(opt.trace_dir.c_str(), 0755);  // EEXIST is fine
   }
   Supervisor sup(opt);
   return sup.Run();

@@ -143,18 +143,35 @@ std::string BenchReporter::ToJson() const {
     os << "}";
   }
   os << (rows_.empty() ? "]" : "\n  ]");
-  if (!telemetry_.Empty()) {
-    os << ",\n  \"histograms\": {"
-       << "\n    \"latency\": " << HistogramJson(telemetry_.latency)
-       << ",\n    \"queue_depth\": "
-       << HistogramJson(telemetry_.queue_depth)
-       << ",\n    \"capture_width\": "
-       << HistogramJson(telemetry_.capture_width);
-    // Only churn sweeps feed this one; emitted conditionally so the
-    // existing suites' documents stay byte-identical.
-    if (telemetry_.election_latency.count() > 0) {
-      os << ",\n    \"election_latency\": "
-         << HistogramJson(telemetry_.election_latency);
+  bool any_named = false;
+  for (const auto& [name, h] : named_) {
+    if (h.count() > 0) {
+      any_named = true;
+      break;
+    }
+  }
+  if (!telemetry_.Empty() || any_named) {
+    os << ",\n  \"histograms\": {";
+    bool first = true;
+    auto emit = [&](const std::string& name, const obs::Histogram& h) {
+      os << (first ? "\n    " : ",\n    ") << JsonString(name) << ": "
+         << HistogramJson(h);
+      first = false;
+    };
+    if (!telemetry_.Empty()) {
+      emit("latency", telemetry_.latency);
+      emit("queue_depth", telemetry_.queue_depth);
+      emit("capture_width", telemetry_.capture_width);
+      // Only churn sweeps feed this one; emitted conditionally so the
+      // existing suites' documents stay byte-identical.
+      if (telemetry_.election_latency.count() > 0) {
+        emit("election_latency", telemetry_.election_latency);
+      }
+    }
+    // Named histograms after the fixed telemetry trio, in name order;
+    // zero-count entries are skipped so empty merges leave no residue.
+    for (const auto& [name, h] : named_) {
+      if (h.count() > 0) emit(name, h);
     }
     os << "\n  }";
   }

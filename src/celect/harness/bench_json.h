@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,6 +90,14 @@ class BenchReporter {
   // omitted while the merged bundle is Empty().
   void MergeTelemetry(const obs::Telemetry& t) { telemetry_.Merge(t); }
 
+  // Suite-specific named distributions (rtt_us, backoff_us, ...): they
+  // join the same "histograms" section in name order. Empty histograms
+  // are skipped at render time, so merging zero-count data is a no-op.
+  void MergeNamedHistogram(const std::string& name,
+                           const obs::Histogram& h) {
+    named_[name].Merge(h);
+  }
+
   const std::string& suite() const { return suite_; }
   const std::vector<BenchRow>& rows() const { return rows_; }
   const obs::Telemetry& telemetry() const { return telemetry_; }
@@ -105,6 +114,7 @@ class BenchReporter {
   std::string suite_;
   std::vector<BenchRow> rows_;
   obs::Telemetry telemetry_;
+  std::map<std::string, obs::Histogram> named_;
 };
 
 // Renders one Histogram as the JSON object used by the "histograms"

@@ -56,6 +56,10 @@ void FoldStats(ClusterResult& r, const TransportStats& st) {
   r.suspicions += st.sessions.suspicions;
   r.peer_restarts += st.sessions.peer_restarts;
   r.delivered += st.sessions.delivered;
+  r.rtt_us.Merge(st.sessions.rtt_us);
+  r.backoff_us.Merge(st.sessions.backoff_us);
+  r.window_occupancy.Merge(st.sessions.window);
+  r.suspicion_us.Merge(st.sessions.suspicion_us);
 }
 
 void FillRtt(ClusterResult& r, std::vector<Micros>& samples) {
@@ -84,6 +88,8 @@ ClusterResult RunSimElection(const ClusterConfig& config,
     pc.unit_us = config.unit_us;
     pc.announce_interval_us = config.announce_interval_us;
     pc.rejoin = rejoin;
+    pc.trace = config.trace;
+    pc.trace_cap = config.trace_cap;
     return std::make_unique<PeerNode>(pc, net.at(i), factory);
   };
   std::vector<bool> alive(config.n, true);
@@ -106,13 +112,16 @@ ClusterResult RunSimElection(const ClusterConfig& config,
       }
     }
   };
-  auto fold_node = [&](PeerId i) {
-    // Fold a dying incarnation's digest and stats before they vanish.
+  auto fold_node = [&](PeerId i, bool survived) {
+    // Fold a dying incarnation's digest, stats, and shard before they
+    // vanish. A killed node's shard is flagged incomplete — the sim
+    // analogue of the partial flush a SIGKILLed process leaves behind.
     std::uint64_t d = nodes[i]->EventDigest();
     for (int b = 0; b < 8; ++b) {
       fp.Update(static_cast<std::uint8_t>(d >> (8 * b)));
     }
     FoldStats(result, net.at(i).Stats());
+    if (config.trace) result.shards.push_back(nodes[i]->MakeShard(survived));
   };
 
   for (PeerId i = 0; i < config.n; ++i) nodes[i]->Pump();
@@ -142,7 +151,7 @@ ClusterResult RunSimElection(const ClusterConfig& config,
       const ChaosEvent& ev = chaos[chaos_idx++];
       if (ev.what == ChaosEvent::What::kKill) {
         if (!alive[ev.node]) continue;
-        fold_node(ev.node);
+        fold_node(ev.node, /*survived=*/false);
         net.Kill(ev.node);
         nodes[ev.node].reset();
         alive[ev.node] = false;
@@ -163,7 +172,7 @@ ClusterResult RunSimElection(const ClusterConfig& config,
   std::vector<Micros> rtt;
   for (PeerId i = 0; i < config.n; ++i) {
     if (!alive[i]) continue;
-    fold_node(i);
+    fold_node(i, /*survived=*/true);
     auto st = net.at(i).Stats();
     rtt.insert(rtt.end(), st.sessions.rtt_samples.begin(),
                st.sessions.rtt_samples.end());
@@ -196,6 +205,8 @@ std::optional<ClusterResult> RunUdpElection(
     pc.id = ids[i];
     pc.unit_us = config.unit_us;
     pc.announce_interval_us = config.announce_interval_us;
+    pc.trace = config.trace;
+    pc.trace_cap = config.trace_cap;
     nodes[i] = std::make_unique<PeerNode>(pc, *transports[i], factory);
   }
 
@@ -223,6 +234,7 @@ std::optional<ClusterResult> RunUdpElection(
   for (PeerId i = 0; i < config.n; ++i) {
     auto st = transports[i]->Stats();
     FoldStats(result, st);
+    if (config.trace) result.shards.push_back(nodes[i]->MakeShard(true));
     rtt.insert(rtt.end(), st.sessions.rtt_samples.begin(),
                st.sessions.rtt_samples.end());
   }

@@ -19,6 +19,7 @@
 #include "celect/net/peer_node.h"
 #include "celect/net/sim_net.h"
 #include "celect/net/udp_transport.h"
+#include "celect/obs/shard.h"
 #include "celect/sim/process.h"
 
 namespace celect::net {
@@ -41,6 +42,11 @@ struct ClusterConfig {
   // udp path only:
   std::uint16_t base_port = 47000;
   double send_loss = 0.0;
+  // Collect causal trace records per node and emit one TraceShard per
+  // incarnation in ClusterResult::shards (killed incarnations flush a
+  // complete=false shard at the moment of death).
+  bool trace = false;
+  std::size_t trace_cap = 200'000;
 };
 
 struct ClusterResult {
@@ -59,6 +65,14 @@ struct ClusterResult {
   // RTT percentiles over never-retransmitted frames (0 when no samples).
   Micros rtt_p50_us = 0;
   Micros rtt_p99_us = 0;
+  // Session-layer distributions aggregated over every incarnation.
+  obs::Histogram rtt_us;
+  obs::Histogram backoff_us;
+  obs::Histogram window_occupancy;
+  obs::Histogram suspicion_us;
+  // One shard per node incarnation when ClusterConfig::trace is set,
+  // in capture order (deaths first, then survivors in node order).
+  std::vector<obs::TraceShard> shards;
 };
 
 ClusterResult RunSimElection(const ClusterConfig& config,

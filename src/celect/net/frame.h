@@ -33,6 +33,13 @@ inline constexpr std::uint8_t kFrameMagic1 = 0x17;
 // max-size wire packet, with headroom.
 inline constexpr std::size_t kMaxFramePayload = 1200;
 
+// Session wire version, negotiated in the Hello/HelloAck handshake.
+// Version 2 added the trace-context fields (Lamport clock + message
+// uid) to Data frames; a peer advertising any other version is counted
+// and ignored at handshake, so mixed-version clusters fail loudly at
+// session setup instead of misparsing Data payloads mid-stream.
+inline constexpr std::uint64_t kWireVersion = 2;
+
 enum class FrameKind : std::uint8_t {
   kHello = 1,     // open / reopen a session (carries epoch, start seq)
   kHelloAck = 2,  // accept a session (carries both epochs, start seq)

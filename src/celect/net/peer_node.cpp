@@ -1,8 +1,10 @@
 #include "celect/net/peer_node.h"
 
+#include <algorithm>
 #include <string>
 
 #include "celect/util/check.h"
+#include "celect/util/rng.h"
 
 namespace celect::net {
 
@@ -22,7 +24,7 @@ class PeerNode::Ctx final : public sim::Context {
   void Send(sim::Port port, wire::Packet p) override {
     CELECT_DCHECK(port >= 1 && port < n());
     node_->traversed_.insert(port);
-    node_->transport_.Send(node_->PeerOf(port), p);
+    node_->SendTraced(node_->PeerOf(port), p);
   }
 
   std::optional<sim::Port> SendFresh(wire::Packet p) override {
@@ -44,11 +46,16 @@ class PeerNode::Ctx final : public sim::Context {
     Micros deadline =
         node_->transport_.Now() + node_->DelayToMicros(delay);
     node_->timers_.insert({deadline, id});
+    node_->TraceEvent(sim::TraceRecord::Kind::kTimerSet, 0, 0, 0,
+                      node_->lamport_, static_cast<std::uint64_t>(id));
     return id;
   }
 
   void CancelTimer(sim::TimerId timer) override {
-    if (timer != sim::kInvalidTimer) node_->cancelled_.insert(timer);
+    if (timer == sim::kInvalidTimer) return;
+    node_->cancelled_.insert(timer);
+    node_->TraceEvent(sim::TraceRecord::Kind::kTimerCancel, 0, 0, 0,
+                      node_->lamport_, static_cast<std::uint64_t>(timer));
   }
 
   void DeclareLeader() override {
@@ -76,6 +83,15 @@ PeerNode::PeerNode(const PeerNodeConfig& config, Transport& transport,
   ctx_ = std::make_unique<Ctx>(this);
   process_ = factory(sim::ProcessInit{transport_.self(), config_.id,
                                       transport_.n()});
+  // High 44 bits identify this incarnation (epoch is unique per node
+  // incarnation); the low 20 bits count sends. A node that sends more
+  // than 2^20 messages rolls into + carry — mids stay unique, they just
+  // stop being prefix-groupable, which nothing relies on.
+  mid_base_ = SplitMix64(transport_.epoch() ^
+                         (std::uint64_t{transport_.self()} << 32) ^
+                         0x5a1de5a1deULL)
+                  .Next()
+              << 20;
 }
 
 PeerNode::~PeerNode() = default;
@@ -89,15 +105,17 @@ sim::Port PeerNode::PortOf(PeerId peer) const {
   return static_cast<sim::Port>((peer + n - transport_.self()) % n);
 }
 
+std::int64_t PeerNode::TicksOf(Micros at) const {
+  // Split to keep at * 2^20 well inside int64 even for long runs.
+  std::int64_t units = static_cast<std::int64_t>(at / config_.unit_us);
+  std::int64_t rem = static_cast<std::int64_t>(at % config_.unit_us);
+  return units * sim::Time::kTicksPerUnit +
+         rem * sim::Time::kTicksPerUnit /
+             static_cast<std::int64_t>(config_.unit_us);
+}
+
 sim::Time PeerNode::SimNow() const {
-  Micros now = transport_.Now();
-  // Split to keep now * 2^20 well inside int64 even for long runs.
-  std::int64_t units = static_cast<std::int64_t>(now / config_.unit_us);
-  std::int64_t rem = static_cast<std::int64_t>(now % config_.unit_us);
-  return sim::Time::FromTicks(
-      units * sim::Time::kTicksPerUnit +
-      rem * sim::Time::kTicksPerUnit /
-          static_cast<std::int64_t>(config_.unit_us));
+  return sim::Time::FromTicks(TicksOf(transport_.Now()));
 }
 
 Micros PeerNode::DelayToMicros(sim::Time delay) const {
@@ -112,6 +130,8 @@ Micros PeerNode::DelayToMicros(sim::Time delay) const {
 void PeerNode::Believe(sim::Id leader) {
   if (leader_ && *leader_ >= leader) return;
   leader_ = leader;
+  TraceEvent(sim::TraceRecord::Kind::kLeader, 0, 0, 0, lamport_,
+             static_cast<std::uint64_t>(leader));
   // Announce promptly so a fresh belief propagates within one pump.
   next_announce_ = transport_.Now();
 }
@@ -120,10 +140,42 @@ void PeerNode::Start() {
   if (started_) return;
   started_ = true;
   if (config_.rejoin) {
+    TraceEvent(sim::TraceRecord::Kind::kRejoin, 0, 0, 0, lamport_, 0);
     process_->OnRejoin(*ctx_);
   } else {
+    ++lamport_;
+    TraceEvent(sim::TraceRecord::Kind::kWakeup, 0, 0, 0, lamport_, 0);
     process_->OnWakeup(*ctx_);
   }
+}
+
+void PeerNode::TraceEvent(sim::TraceRecord::Kind kind, PeerId peer,
+                          sim::Port port, std::uint16_t type,
+                          std::uint64_t clock, std::uint64_t mid) {
+  if (!config_.trace) return;
+  if (trace_.size() >= config_.trace_cap) {
+    ++trace_dropped_;
+    return;
+  }
+  sim::TraceRecord r{};
+  r.kind = kind;
+  r.at = SimNow();
+  r.node = transport_.self();
+  r.peer = peer;
+  r.port = port;
+  r.type = type;
+  r.seq = trace_seq_++;
+  r.clock = clock;
+  r.mid = mid;
+  trace_.push_back(r);
+}
+
+void PeerNode::SendTraced(PeerId peer, const wire::Packet& p) {
+  ++lamport_;
+  std::uint64_t mid = mid_base_ + ++mid_counter_;
+  TraceEvent(sim::TraceRecord::Kind::kSend, peer, PortOf(peer), p.type,
+             lamport_, mid);
+  transport_.Send(peer, p, TraceContext{lamport_, mid});
 }
 
 void PeerNode::Dispatch(const TransportEvent& ev) {
@@ -141,6 +193,12 @@ void PeerNode::Dispatch(const TransportEvent& ev) {
               static_cast<std::uint64_t>(f) >> (8 * i)));
         }
       }
+      // Join the sender's clock before anything runs in response —
+      // announce interception included, so gossip stays on the causal
+      // timeline too.
+      lamport_ = std::max(lamport_, ev.tc_clock) + 1;
+      TraceEvent(sim::TraceRecord::Kind::kDeliver, ev.peer, port,
+                 ev.packet.type, lamport_, ev.tc_mid);
       if (ev.packet.type == kAnnouncePacketType) {
         if (!ev.packet.fields.empty()) Believe(ev.packet.field(0));
         return;
@@ -168,6 +226,9 @@ void PeerNode::FireDueTimers() {
     if (cancelled_.erase(id) > 0) continue;
     digest_.Update(0x7D);  // timer-fired marker
     digest_.Update(static_cast<std::uint8_t>(id));
+    ++lamport_;
+    TraceEvent(sim::TraceRecord::Kind::kTimerFire, 0, 0, 0, lamport_,
+               static_cast<std::uint64_t>(id));
     process_->OnTimer(*ctx_, id);
   }
 }
@@ -178,7 +239,7 @@ void PeerNode::Announce() {
   p.fields.push_back(*leader_);
   for (PeerId peer = 0; peer < transport_.n(); ++peer) {
     if (peer == transport_.self()) continue;
-    transport_.Send(peer, p);
+    SendTraced(peer, p);
   }
   next_announce_ = transport_.Now() + config_.announce_interval_us;
 }
@@ -190,6 +251,52 @@ void PeerNode::Pump() {
   for (const TransportEvent& ev : events_) Dispatch(ev);
   FireDueTimers();
   if (leader_ && transport_.Now() >= next_announce_) Announce();
+}
+
+obs::MetricsRegistry PeerNode::SnapshotMetrics() const {
+  obs::MetricsRegistry m;
+  for (const auto& [name, value] : counters_) {
+    if (value > 0) {
+      m.AddCounter("proto." + name, static_cast<std::uint64_t>(value));
+    }
+  }
+  m.AddCounter("node.events_dispatched", events_dispatched_);
+  m.AddCounter("node.suspicions_seen", suspicions_seen_);
+  m.AddCounter("node.trace_dropped", trace_dropped_);
+  TransportStats st = transport_.Stats();
+  m.AddCounter("net.datagrams_sent", st.datagrams_sent);
+  m.AddCounter("net.datagrams_received", st.datagrams_received);
+  m.AddCounter("net.retransmits", st.sessions.data_retransmits);
+  m.AddCounter("net.delivered", st.sessions.delivered);
+  m.AddCounter("net.suspicions", st.sessions.suspicions);
+  m.AddCounter("net.peer_restarts", st.sessions.peer_restarts);
+  m.AddCounter("net.version_mismatch", st.sessions.version_mismatch);
+  m.AddCounter("net.rtt_samples_dropped",
+               st.sessions.rtt_samples_dropped);
+  m.MergeHistogram("rtt_us", st.sessions.rtt_us);
+  m.MergeHistogram("backoff_us", st.sessions.backoff_us);
+  m.MergeHistogram("window_occupancy", st.sessions.window);
+  m.MergeHistogram("suspicion_us", st.sessions.suspicion_us);
+  return m;
+}
+
+obs::TraceShard PeerNode::MakeShard(bool complete) const {
+  obs::TraceShard s;
+  s.node = transport_.self();
+  s.epoch = transport_.epoch();
+  s.complete = complete;
+  s.dropped = trace_dropped_;
+  s.label = "id=" + std::to_string(config_.id);
+  s.records = trace_;
+  if (const obs::FlightRecorder* rec = transport_.recorder()) {
+    s.flight = rec->Snapshot();
+    for (auto& f : s.flight) {
+      f.at = static_cast<std::uint64_t>(
+          TicksOf(static_cast<Micros>(f.at)));
+    }
+  }
+  s.metrics = SnapshotMetrics();
+  return s;
 }
 
 std::optional<Micros> PeerNode::NextWake() const {

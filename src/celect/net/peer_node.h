@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "celect/net/transport.h"
+#include "celect/obs/shard.h"
 #include "celect/sim/process.h"
+#include "celect/sim/trace.h"
 #include "celect/wire/checksum.h"
 
 namespace celect::net {
@@ -46,6 +48,12 @@ struct PeerNodeConfig {
   // True for a process revived after a crash: it enters via OnRejoin
   // (passive, quarantine-aware) instead of OnWakeup.
   bool rejoin = false;
+  // Record causal trace records (sends, deliveries, timers, leader
+  // changes) for MakeShard. Lamport clocks and wire mids are minted
+  // regardless — the trace context always travels — this only controls
+  // record retention.
+  bool trace = false;
+  std::size_t trace_cap = 200'000;
 };
 
 class PeerNode {
@@ -76,6 +84,17 @@ class PeerNode {
   std::uint64_t events_dispatched() const { return events_dispatched_; }
   std::uint64_t suspicions_seen() const { return suspicions_seen_; }
 
+  // This incarnation's observability dump: trace records, the
+  // transport's flight-recorder ring (rebased to trace ticks), and a
+  // metrics snapshot. complete=false marks a mid-run flush (what a
+  // SIGKILLed victim leaves behind); complete=true an orderly exit.
+  obs::TraceShard MakeShard(bool complete) const;
+  // Counters + histograms spanning the protocol engine (Context
+  // counters) and the reliability layer (session stats).
+  obs::MetricsRegistry SnapshotMetrics() const;
+  const std::vector<sim::TraceRecord>& trace() const { return trace_; }
+  std::uint64_t trace_dropped() const { return trace_dropped_; }
+
   sim::Process& process() { return *process_; }
 
  private:
@@ -84,11 +103,18 @@ class PeerNode {
   PeerId PeerOf(sim::Port port) const;
   sim::Port PortOf(PeerId peer) const;
   sim::Time SimNow() const;
+  std::int64_t TicksOf(Micros at) const;
   Micros DelayToMicros(sim::Time delay) const;
   void Dispatch(const TransportEvent& ev);
   void FireDueTimers();
   void Announce();
   void Believe(sim::Id leader);
+  // Mints the Lamport tick + mid and records kSend before handing the
+  // packet to the transport with its trace context.
+  void SendTraced(PeerId peer, const wire::Packet& p);
+  void TraceEvent(sim::TraceRecord::Kind kind, PeerId peer, sim::Port port,
+                  std::uint16_t type, std::uint64_t clock,
+                  std::uint64_t mid);
 
   PeerNodeConfig config_;
   Transport& transport_;
@@ -112,6 +138,18 @@ class PeerNode {
   std::uint64_t events_dispatched_ = 0;
   std::uint64_t suspicions_seen_ = 0;
   std::map<std::string, std::int64_t, std::less<>> counters_;
+
+  // Causal tracing: the node's Lamport clock (ticked on sends,
+  // deliveries, wakeup, timer fires; deliveries join the sender's
+  // wire clock with max+1) and the mid mint. mid_base_ is derived from
+  // the transport epoch, so mids are globally unique across nodes AND
+  // incarnations — the property the cross-process flow pairing keys on.
+  std::uint64_t lamport_ = 0;
+  std::uint64_t mid_base_ = 0;
+  std::uint64_t mid_counter_ = 0;
+  std::uint64_t trace_seq_ = 0;
+  std::uint64_t trace_dropped_ = 0;
+  std::vector<sim::TraceRecord> trace_;
 
   std::vector<TransportEvent> events_;  // reused poll buffer
 };

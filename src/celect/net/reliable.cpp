@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "celect/obs/shard.h"
+#include "celect/util/logging.h"
 #include "celect/wire/packet_codec.h"
 #include "celect/wire/varint.h"
 
@@ -13,6 +15,8 @@ namespace {
 // buffered. Anything beyond is dropped (the sender's window is far
 // smaller, so only corruption gets here).
 constexpr std::uint64_t kRecvWindow = 256;
+// Merge-time ceiling on the pooled sample vector (per-session caps are
+// SessionParams::rtt_sample_cap); overflow is counted, never silent.
 constexpr std::size_t kMaxRttSamples = 4096;
 
 }  // namespace
@@ -35,12 +39,21 @@ void SessionStats::MergeFrom(const SessionStats& o) {
   peer_restarts += o.peer_restarts;
   exhaustions += o.exhaustions;
   suspicions += o.suspicions;
+  version_mismatch += o.version_mismatch;
   rtt_count += o.rtt_count;
   rtt_sum_us += o.rtt_sum_us;
+  rtt_samples_dropped += o.rtt_samples_dropped;
   for (Micros s : o.rtt_samples) {
-    if (rtt_samples.size() >= kMaxRttSamples) break;
+    if (rtt_samples.size() >= kMaxRttSamples) {
+      ++rtt_samples_dropped;
+      continue;
+    }
     rtt_samples.push_back(s);
   }
+  rtt_us.Merge(o.rtt_us);
+  backoff_us.Merge(o.backoff_us);
+  window.Merge(o.window);
+  suspicion_us.Merge(o.suspicion_us);
 }
 
 ReliableSession::ReliableSession(std::uint64_t local_epoch,
@@ -48,6 +61,31 @@ ReliableSession::ReliableSession(std::uint64_t local_epoch,
     : params_(params),
       rng_(SplitMix64(params.seed ^ local_epoch).Next()),
       local_epoch_(local_epoch == 0 ? 1 : local_epoch) {}
+
+void ReliableSession::Flight(Micros now, obs::FlightKind kind,
+                             std::uint64_t a, std::uint64_t b) {
+  if (params_.recorder != nullptr) {
+    params_.recorder->Note(now, params_.recorder_peer, kind, a, b);
+  }
+}
+
+void ReliableSession::NoteRttSample(Micros rtt) {
+  ++stats_.rtt_count;
+  stats_.rtt_sum_us += rtt;
+  stats_.rtt_us.Add(rtt);
+  if (stats_.rtt_samples.size() < params_.rtt_sample_cap) {
+    stats_.rtt_samples.push_back(rtt);
+    return;
+  }
+  ++stats_.rtt_samples_dropped;
+  if (!rtt_cap_warned_) {
+    rtt_cap_warned_ = true;
+    CELECT_LOG(Warn) << "rtt sample cap (" << params_.rtt_sample_cap
+                     << ") hit; further samples counted in "
+                        "rtt_samples_dropped, percentiles over the "
+                        "sample vector are truncated";
+  }
+}
 
 Micros ReliableSession::Backoff(std::uint32_t retries) {
   std::uint32_t shift = std::min(retries, 10u);
@@ -86,6 +124,7 @@ void ReliableSession::SendHello(Micros now) {
   std::vector<std::uint8_t> p;
   wire::PutVarint(p, local_epoch_);
   wire::PutVarint(p, OldestUnsentOrUnacked());
+  wire::PutVarint(p, kWireVersion);
   EmitFrame(FrameKind::kHello, p);
   ++stats_.hellos_sent;
   next_hello_at_ = now + Backoff(hello_retries_);
@@ -96,6 +135,7 @@ void ReliableSession::SendHelloAck(Micros) {
   wire::PutVarint(p, local_epoch_);
   wire::PutVarint(p, remote_epoch_);
   wire::PutVarint(p, OldestUnsentOrUnacked());
+  wire::PutVarint(p, kWireVersion);
   EmitFrame(FrameKind::kHelloAck, p);
   ++stats_.hello_acks_sent;
 }
@@ -110,22 +150,27 @@ void ReliableSession::SendAck() {
   ack_dirty_ = false;
 }
 
-void ReliableSession::SendReset() {
+void ReliableSession::SendReset(Micros now) {
   std::vector<std::uint8_t> p;
   wire::PutVarint(p, local_epoch_);
   EmitFrame(FrameKind::kReset, p);
   ++stats_.resets_sent;
+  Flight(now, obs::FlightKind::kResetSent, local_epoch_);
 }
 
 void ReliableSession::TransmitData(Unacked& u, Micros now, bool retransmit) {
   std::vector<std::uint8_t> p;
   // Acks are stamped at (re)transmit time, never stored, so a frame
   // retransmitted after a peer restart carries acks for the *current*
-  // receive stream.
+  // receive stream. The trace context is the opposite: stamped once at
+  // SendPacket and frozen, because it names the logical message, not
+  // the transmission.
   wire::PutVarint(p, local_epoch_);
   wire::PutVarint(p, u.seq);
   wire::PutVarint(p, recv_next_);
   wire::PutVarint(p, AckBits());
+  wire::PutVarint(p, u.tc.clock);
+  wire::PutVarint(p, u.tc.mid);
   p.insert(p.end(), u.packet_bytes.begin(), u.packet_bytes.end());
   EmitFrame(FrameKind::kData, p);
   if (retransmit) {
@@ -134,8 +179,14 @@ void ReliableSession::TransmitData(Unacked& u, Micros now, bool retransmit) {
   } else {
     ++stats_.data_sent;
     u.first_sent = now;
+    stats_.window.Add(unacked_.size());
   }
-  u.next_retx = now + Backoff(u.retries);
+  Micros backoff = Backoff(u.retries);
+  u.next_retx = now + backoff;
+  if (retransmit) {
+    stats_.backoff_us.Add(backoff);
+    Flight(now, obs::FlightKind::kRetransmit, u.seq, backoff);
+  }
   ack_dirty_ = false;  // acks rode along
 }
 
@@ -144,7 +195,8 @@ void ReliableSession::FillWindow(Micros now) {
   while (!pending_.empty() && unacked_.size() < params_.window) {
     Unacked u;
     u.seq = next_seq_++;
-    u.packet_bytes = std::move(pending_.front());
+    u.packet_bytes = std::move(pending_.front().bytes);
+    u.tc = pending_.front().tc;
     pending_.pop_front();
     unacked_.push_back(std::move(u));
     TransmitData(unacked_.back(), now, /*retransmit=*/false);
@@ -155,25 +207,37 @@ void ReliableSession::Start(Micros now) {
   if (started_) return;
   started_ = true;
   hello_retries_ = 0;
+  Flight(now, obs::FlightKind::kSessionStart, local_epoch_);
   SendHello(now);
 }
 
-void ReliableSession::SendPacket(const wire::Packet& p, Micros now) {
+void ReliableSession::SendPacket(const wire::Packet& p, Micros now,
+                                 TraceContext tc) {
   Start(now);
-  std::vector<std::uint8_t> bytes;
-  wire::EncodeTo(p, bytes);
-  pending_.push_back(std::move(bytes));
+  PendingPacket pp;
+  wire::EncodeTo(p, pp.bytes);
+  pp.tc = tc;
+  pending_.push_back(std::move(pp));
   FillWindow(now);
+  if (!pending_.empty()) {
+    // The window (or the handshake) is holding this packet back.
+    Flight(now, obs::FlightKind::kWindowStall, pending_.size());
+  }
 }
 
-void ReliableSession::NoteProgress() {
+void ReliableSession::NoteProgress(Micros now) {
+  if (suspect_signalled_) {
+    Micros duration = now - suspect_since_;
+    stats_.suspicion_us.Add(duration);
+    Flight(now, obs::FlightKind::kSuspectEnd, duration);
+  }
   exhaustion_streak_ = 0;
   suspect_signalled_ = false;
   suspect_pending_ = false;
   for (auto& u : unacked_) u.exhausted = false;
 }
 
-void ReliableSession::NoteExhaustion(Unacked* u) {
+void ReliableSession::NoteExhaustion(Unacked* u, Micros now) {
   if (u != nullptr) {
     if (u->exhausted) return;  // count each frame's budget once
     u->exhausted = true;
@@ -184,7 +248,9 @@ void ReliableSession::NoteExhaustion(Unacked* u) {
       !suspect_signalled_) {
     suspect_pending_ = true;
     suspect_signalled_ = true;
+    suspect_since_ = now;
     ++stats_.suspicions;
+    Flight(now, obs::FlightKind::kSuspectBegin, exhaustion_streak_);
   }
 }
 
@@ -202,12 +268,7 @@ void ReliableSession::ProcessAck(std::uint64_t cum, std::uint64_t bits,
     if (acked) {
       if (it->retries == 0) {
         // Karn's rule: only never-retransmitted frames give clean RTTs.
-        Micros rtt = now - it->first_sent;
-        ++stats_.rtt_count;
-        stats_.rtt_sum_us += rtt;
-        if (stats_.rtt_samples.size() < kMaxRttSamples) {
-          stats_.rtt_samples.push_back(rtt);
-        }
+        NoteRttSample(now - it->first_sent);
       }
       it = unacked_.erase(it);
       progress = true;
@@ -216,7 +277,7 @@ void ReliableSession::ProcessAck(std::uint64_t cum, std::uint64_t bits,
     }
   }
   if (progress) {
-    NoteProgress();
+    NoteProgress(now);
     FillWindow(now);
   }
 }
@@ -231,13 +292,14 @@ void ReliableSession::AdoptRemote(std::uint64_t epoch,
   if (restart) {
     ++stats_.peer_restarts;
     peer_restart_pending_ = true;
+    Flight(now, obs::FlightKind::kEpochAdopt, epoch);
     // The new incarnation has no session state for us: freeze the send
     // window and re-run the handshake so its receive stream is seeded
     // with our oldest unacked seq before any retransmits land.
     established_ = false;
     started_ = true;
     hello_retries_ = 0;
-    NoteProgress();
+    NoteProgress(now);
     SendHello(now);
   }
 }
@@ -246,8 +308,18 @@ void ReliableSession::OnHello(const Frame& f, Micros now) {
   wire::VarintReader r(f.payload.data(), f.payload.size());
   auto epoch = r.ReadVarint();
   auto start = r.ReadVarint();
+  auto version = r.ReadVarint();
   if (!epoch || !start || *epoch == 0) {
     ++stats_.decode_errors;
+    return;
+  }
+  // A missing version field is a version-1 peer. Reject anything but
+  // our own version at the door: no adopt, no HelloAck, so the old
+  // peer keeps re-helloing and its operator sees a stuck handshake
+  // plus our counter, instead of misparsed Data payloads later.
+  if (!version || *version != kWireVersion) {
+    ++stats_.version_mismatch;
+    Flight(now, obs::FlightKind::kVersionMismatch, version ? *version : 1);
     return;
   }
   if (remote_epoch_ == 0 || *epoch != remote_epoch_) {
@@ -263,8 +335,14 @@ void ReliableSession::OnHelloAck(const Frame& f, Micros now) {
   auto epoch = r.ReadVarint();
   auto echoed = r.ReadVarint();
   auto start = r.ReadVarint();
+  auto version = r.ReadVarint();
   if (!epoch || !echoed || !start || *epoch == 0) {
     ++stats_.decode_errors;
+    return;
+  }
+  if (!version || *version != kWireVersion) {
+    ++stats_.version_mismatch;
+    Flight(now, obs::FlightKind::kVersionMismatch, version ? *version : 1);
     return;
   }
   if (*echoed != local_epoch_) {
@@ -278,7 +356,10 @@ void ReliableSession::OnHelloAck(const Frame& f, Micros now) {
   // The peer echoed our epoch, so it can accept our data stream.
   bool was_established = established_;
   established_ = true;
-  NoteProgress();
+  if (!was_established) {
+    Flight(now, obs::FlightKind::kEstablished, remote_epoch_);
+  }
+  NoteProgress(now);
   if (!was_established) {
     // Retransmit anything already in flight promptly: if this HelloAck
     // answers a re-handshake after a peer restart, the peer's receive
@@ -299,7 +380,9 @@ void ReliableSession::OnData(const Frame& f, Micros now) {
   auto seq = r.ReadVarint();
   auto cum = r.ReadVarint();
   auto bits = r.ReadVarint();
-  if (!epoch || !seq || !cum || !bits) {
+  auto tc_clock = r.ReadVarint();
+  auto tc_mid = r.ReadVarint();
+  if (!epoch || !seq || !cum || !bits || !tc_clock || !tc_mid) {
     ++stats_.decode_errors;
     return;
   }
@@ -307,7 +390,7 @@ void ReliableSession::OnData(const Frame& f, Micros now) {
     // Unknown or dead incarnation: we cannot place its seqs. Ask it to
     // re-hello rather than guessing a receive stream.
     ++stats_.stale_epoch;
-    SendReset();
+    SendReset(now);
     return;
   }
   // Data only flows once the peer holds our epoch, so the handshake is
@@ -316,7 +399,8 @@ void ReliableSession::OnData(const Frame& f, Micros now) {
   // this path must do everything OnHelloAck would have.
   if (!established_) {
     established_ = true;
-    NoteProgress();
+    Flight(now, obs::FlightKind::kEstablished, remote_epoch_);
+    NoteProgress(now);
     FillWindow(now);
   }
   ProcessAck(*cum, *bits, now);
@@ -340,8 +424,9 @@ void ReliableSession::OnData(const Frame& f, Micros now) {
     }
     return;
   }
+  TraceContext tc{*tc_clock, *tc_mid};
   if (s == recv_next_) {
-    delivered_.push_back(std::move(*pkt));
+    delivered_.push_back(Delivered{std::move(*pkt), tc});
     ++stats_.delivered;
     ++recv_next_;
     // Drain any buffered successors.
@@ -356,7 +441,7 @@ void ReliableSession::OnData(const Frame& f, Micros now) {
     if (reorder_.count(s)) {
       ++stats_.duplicates;
     } else {
-      reorder_.emplace(s, std::move(*pkt));
+      reorder_.emplace(s, Delivered{std::move(*pkt), tc});
       ++stats_.out_of_order;
     }
   } else {
@@ -382,7 +467,8 @@ void ReliableSession::OnAck(const Frame& f, Micros now) {
   }
   if (!established_) {
     established_ = true;
-    NoteProgress();
+    Flight(now, obs::FlightKind::kEstablished, remote_epoch_);
+    NoteProgress(now);
     FillWindow(now);
   }
   ProcessAck(*cum, *bits, now);
@@ -396,6 +482,7 @@ void ReliableSession::OnReset(const Frame& f, Micros now) {
     return;
   }
   ++stats_.resets_received;
+  Flight(now, obs::FlightKind::kResetReceived, local_epoch_);
   // The peer has no session for our epoch; re-run the handshake. Keep
   // the send window intact — seqs survive, the Hello re-seeds the
   // peer's receive stream at our oldest unacked frame.
@@ -440,15 +527,16 @@ void ReliableSession::Tick(Micros now) {
     ++hello_retries_;
     if (hello_retries_ > params_.max_retries) {
       hello_retries_ = params_.max_retries;  // stay at the ceiling
-      NoteExhaustion(nullptr);
+      NoteExhaustion(nullptr, now);
     }
+    Flight(now, obs::FlightKind::kHelloRetry, hello_retries_);
     SendHello(now);
   }
   if (established_) {
     for (auto& u : unacked_) {
       if (now < u.next_retx) continue;
       if (u.retries >= params_.max_retries) {
-        NoteExhaustion(&u);
+        NoteExhaustion(&u, now);
         // Keep probing at the ceiling so a revived peer still recovers.
         u.retries = params_.max_retries;
       }

@@ -30,10 +30,26 @@
 
 #include "celect/net/clock.h"
 #include "celect/net/frame.h"
+#include "celect/obs/telemetry.h"
 #include "celect/util/rng.h"
 #include "celect/wire/packet.h"
 
+namespace celect::obs {
+class FlightRecorder;
+enum class FlightKind : std::uint8_t;
+}  // namespace celect::obs
+
 namespace celect::net {
+
+// Causal metadata riding inside every Data frame (wire version 2): the
+// sender's Lamport clock at send time and the message uid pairing this
+// wire message with its kSend trace record. Zeroes when the caller
+// doesn't trace — the fields still travel so the wire format has one
+// shape.
+struct TraceContext {
+  std::uint64_t clock = 0;
+  std::uint64_t mid = 0;
+};
 
 struct SessionParams {
   std::uint32_t window = 32;       // max unacked data frames in flight
@@ -45,6 +61,14 @@ struct SessionParams {
   // the peer is reported suspect.
   std::uint32_t suspicion_exhaustions = 1;
   std::uint64_t seed = 1;          // jitter stream
+  // Karn-filtered RTT samples kept for bench percentiles; overflow is
+  // counted in rtt_samples_dropped and warn-logged once per session.
+  std::size_t rtt_sample_cap = 4096;
+  // Optional flight recorder (owned by the transport endpoint, shared
+  // across its sessions); session-layer moments are Note()d into it so
+  // a SIGKILLed process's shard still shows its last retransmit storm.
+  obs::FlightRecorder* recorder = nullptr;
+  std::uint32_t recorder_peer = 0;  // peer id stamped on flight events
 };
 
 struct SessionStats {
@@ -65,9 +89,19 @@ struct SessionStats {
   std::uint64_t peer_restarts = 0;      // new remote epoch adopted
   std::uint64_t exhaustions = 0;        // retransmit budgets spent
   std::uint64_t suspicions = 0;         // suspect episodes signalled
+  std::uint64_t version_mismatch = 0;   // handshakes rejected on version
   std::uint64_t rtt_count = 0;
   std::uint64_t rtt_sum_us = 0;
   std::vector<Micros> rtt_samples;      // capped; for bench percentiles
+  // Samples discarded once rtt_samples hit the cap (at sampling time or
+  // when merging) — never silent, so a capped p99 is visibly capped.
+  std::uint64_t rtt_samples_dropped = 0;
+
+  // Mergeable distributions (power-of-two buckets, exact count/sum):
+  obs::Histogram rtt_us;         // Karn-filtered ack round trips
+  obs::Histogram backoff_us;     // RTO scheduled at each retransmit
+  obs::Histogram window;         // in-flight frames at first transmit
+  obs::Histogram suspicion_us;   // suspect-episode durations
 
   void MergeFrom(const SessionStats& o);
 };
@@ -78,11 +112,19 @@ class ReliableSession {
   // node (tests pass counters; real transports use HostEpoch()).
   ReliableSession(std::uint64_t local_epoch, const SessionParams& params);
 
+  // A packet delivered exactly once, in order, with the trace context
+  // its sender stamped on the wire.
+  struct Delivered {
+    wire::Packet packet;
+    TraceContext tc;
+  };
+
   // ---- inputs -------------------------------------------------------
   // Begins the handshake (idempotent). SendPacket calls it implicitly.
   void Start(Micros now);
   // Queues a packet for exactly-once in-order delivery to the peer.
-  void SendPacket(const wire::Packet& p, Micros now);
+  // `tc` travels with the packet (survives retransmits unchanged).
+  void SendPacket(const wire::Packet& p, Micros now, TraceContext tc = {});
   // Feeds one received datagram through framing + the session machine.
   void OnDatagram(const std::uint8_t* data, std::size_t size, Micros now);
   // Drives retransmit and handshake timers.
@@ -92,7 +134,7 @@ class ReliableSession {
   // Datagrams to put on the wire, in send order.
   std::vector<std::vector<std::uint8_t>>& outbox() { return outbox_; }
   // Packets delivered exactly once, in order.
-  std::vector<wire::Packet>& delivered() { return delivered_; }
+  std::vector<Delivered>& delivered() { return delivered_; }
   // True at most once per suspicion episode; an episode ends when the
   // peer shows life (ack progress, handshake, or restart).
   bool TakeSuspect();
@@ -109,9 +151,15 @@ class ReliableSession {
   const SessionStats& stats() const { return stats_; }
 
  private:
+  struct PendingPacket {
+    std::vector<std::uint8_t> bytes;  // wire::EncodeTo output
+    TraceContext tc;
+  };
+
   struct Unacked {
     std::uint64_t seq = 0;
     std::vector<std::uint8_t> packet_bytes;  // wire::EncodeTo output
+    TraceContext tc;
     Micros first_sent = 0;
     Micros next_retx = 0;
     std::uint32_t retries = 0;
@@ -124,13 +172,17 @@ class ReliableSession {
   void SendHello(Micros now);
   void SendHelloAck(Micros now);
   void SendAck();
-  void SendReset();
+  void SendReset(Micros now);
   void TransmitData(Unacked& u, Micros now, bool retransmit);
   void FillWindow(Micros now);
   void ProcessAck(std::uint64_t cum, std::uint64_t bits, Micros now);
-  void NoteProgress();
-  void NoteExhaustion(Unacked* u);
+  void NoteProgress(Micros now);
+  void NoteExhaustion(Unacked* u, Micros now);
+  void NoteRttSample(Micros rtt);
   void AdoptRemote(std::uint64_t epoch, std::uint64_t start_seq, Micros now);
+  // Flight-recorder hook; no-op without a recorder.
+  void Flight(Micros now, obs::FlightKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0);
   std::uint64_t OldestUnsentOrUnacked() const;
 
   void OnHello(const Frame& f, Micros now);
@@ -151,20 +203,22 @@ class ReliableSession {
 
   std::uint64_t next_seq_ = 1;              // next data seq to assign
   std::deque<Unacked> unacked_;             // in seq order
-  std::deque<std::vector<std::uint8_t>> pending_;  // beyond the window
+  std::deque<PendingPacket> pending_;       // beyond the window
 
   std::uint64_t recv_next_ = 1;             // next in-order seq expected
-  std::map<std::uint64_t, wire::Packet> reorder_;  // ooo reassembly
+  std::map<std::uint64_t, Delivered> reorder_;  // ooo reassembly
 
   std::uint32_t exhaustion_streak_ = 0;
   bool suspect_pending_ = false;
   bool suspect_signalled_ = false;
+  Micros suspect_since_ = 0;                // episode start (for duration)
   bool peer_restart_pending_ = false;
   bool ack_dirty_ = false;
+  bool rtt_cap_warned_ = false;
 
   FrameDecoder decoder_;
   std::vector<std::vector<std::uint8_t>> outbox_;
-  std::vector<wire::Packet> delivered_;
+  std::vector<Delivered> delivered_;
   SessionStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "celect/net/sim_net.h"
 
+#include "celect/obs/shard.h"
 #include "celect/util/check.h"
 
 namespace celect::net {
@@ -17,10 +18,15 @@ class SimNet::Node final : public Transport {
   PeerId self() const override { return self_; }
   PeerId n() const override { return net_->n(); }
   Micros Now() override { return net_->clock_.Now(); }
+  std::uint64_t epoch() const override { return epoch_; }
+  const obs::FlightRecorder* recorder() const override {
+    return &recorder_;
+  }
 
-  void Send(PeerId peer, const wire::Packet& p) override {
+  using Transport::Send;
+  void Send(PeerId peer, const wire::Packet& p, TraceContext tc) override {
     CELECT_DCHECK(peer < n() && peer != self_);
-    Session(peer).SendPacket(p, Now());
+    Session(peer).SendPacket(p, Now(), tc);
     Flush(peer);
   }
 
@@ -36,9 +42,10 @@ class SimNet::Node final : public Transport {
       auto* s = sessions_[peer].get();
       if (s == nullptr) continue;
       s->Tick(now);
-      for (auto& pkt : s->delivered()) {
-        out.push_back(
-            TransportEvent{TransportEvent::Kind::kPacket, peer, std::move(pkt)});
+      for (auto& d : s->delivered()) {
+        out.push_back(TransportEvent{TransportEvent::Kind::kPacket, peer,
+                                     std::move(d.packet), d.tc.clock,
+                                     d.tc.mid});
       }
       s->delivered().clear();
       if (s->TakePeerRestart()) {
@@ -46,8 +53,8 @@ class SimNet::Node final : public Transport {
                                      wire::Packet{}});
       }
       if (s->TakeSuspect()) {
-        out.push_back(
-            TransportEvent{TransportEvent::Kind::kSuspect, peer, wire::Packet{}});
+        out.push_back(TransportEvent{TransportEvent::Kind::kSuspect, peer,
+                                     wire::Packet{}});
       }
       Flush(peer);
     }
@@ -85,6 +92,8 @@ class SimNet::Node final : public Transport {
       params.seed = SplitMix64(net_->config_.seed ^ (epoch_ * 0x9e37u) ^
                                (std::uint64_t{self_} << 32) ^ peer)
                         .Next();
+      params.recorder = &recorder_;
+      params.recorder_peer = peer;
       slot = std::make_unique<ReliableSession>(epoch_, params);
     }
     return *slot;
@@ -104,6 +113,7 @@ class SimNet::Node final : public Transport {
   SimNet* net_;
   PeerId self_;
   std::uint64_t epoch_;
+  obs::FlightRecorder recorder_;
   std::vector<std::unique_ptr<ReliableSession>> sessions_;
   std::deque<std::pair<PeerId, std::vector<std::uint8_t>>> inbox_;
   TransportStats stats_;

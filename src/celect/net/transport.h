@@ -36,6 +36,11 @@ struct TransportEvent {
   Kind kind = Kind::kPacket;
   PeerId peer = 0;
   wire::Packet packet;  // valid only for kPacket
+  // Sender's trace context from the wire (kPacket only; zero when the
+  // sender didn't trace): the Lamport clock at send time and the
+  // message uid pairing this delivery with the sender's kSend record.
+  std::uint64_t tc_clock = 0;
+  std::uint64_t tc_mid = 0;
 };
 
 struct TransportStats {
@@ -55,8 +60,13 @@ class Transport {
   virtual PeerId n() const = 0;
   virtual Micros Now() = 0;
 
-  // Queues p for exactly-once in-order delivery to peer.
-  virtual void Send(PeerId peer, const wire::Packet& p) = 0;
+  // Queues p for exactly-once in-order delivery to peer; tc rides the
+  // wire with the packet (zeroes when the caller doesn't trace).
+  virtual void Send(PeerId peer, const wire::Packet& p,
+                    TraceContext tc) = 0;
+  void Send(PeerId peer, const wire::Packet& p) {
+    Send(peer, p, TraceContext{});
+  }
 
   // Drives timers and the wire, appending any ready events to out.
   virtual void Poll(std::vector<TransportEvent>& out) = 0;
@@ -66,6 +76,15 @@ class Transport {
   virtual std::optional<Micros> NextWake() const = 0;
 
   virtual TransportStats Stats() const = 0;
+
+  // This endpoint's session epoch — unique per incarnation of the
+  // node, so it keys trace shards. Zero when the transport has no
+  // epoch notion.
+  virtual std::uint64_t epoch() const { return 0; }
+
+  // The endpoint's flight recorder (shared by its sessions); nullptr
+  // when the transport doesn't keep one.
+  virtual const obs::FlightRecorder* recorder() const { return nullptr; }
 };
 
 }  // namespace celect::net

@@ -59,6 +59,8 @@ ReliableSession& UdpTransport::Session(PeerId peer) {
     params.seed =
         SplitMix64(config_.seed ^ epoch_ ^ (std::uint64_t{peer} << 20))
             .Next();
+    params.recorder = &recorder_;
+    params.recorder_peer = peer;
     slot = std::make_unique<ReliableSession>(epoch_, params);
   }
   return *slot;
@@ -81,9 +83,10 @@ void UdpTransport::Flush(PeerId peer) {
   out.clear();
 }
 
-void UdpTransport::Send(PeerId peer, const wire::Packet& p) {
+void UdpTransport::Send(PeerId peer, const wire::Packet& p,
+                        TraceContext tc) {
   CELECT_DCHECK(peer < config_.n && peer != config_.self);
-  Session(peer).SendPacket(p, Now());
+  Session(peer).SendPacket(p, Now(), tc);
   Flush(peer);
 }
 
@@ -116,9 +119,10 @@ void UdpTransport::Poll(std::vector<TransportEvent>& out) {
     auto* s = sessions_[peer].get();
     if (s == nullptr) continue;
     s->Tick(now);
-    for (auto& pkt : s->delivered()) {
-      out.push_back(
-          TransportEvent{TransportEvent::Kind::kPacket, peer, std::move(pkt)});
+    for (auto& d : s->delivered()) {
+      out.push_back(TransportEvent{TransportEvent::Kind::kPacket, peer,
+                                   std::move(d.packet), d.tc.clock,
+                                   d.tc.mid});
     }
     s->delivered().clear();
     if (s->TakePeerRestart()) {

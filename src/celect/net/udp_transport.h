@@ -13,6 +13,7 @@
 
 #include "celect/net/clock.h"
 #include "celect/net/transport.h"
+#include "celect/obs/shard.h"
 #include "celect/util/rng.h"
 
 namespace celect::net {
@@ -41,10 +42,15 @@ class UdpTransport final : public Transport {
   PeerId self() const override { return config_.self; }
   PeerId n() const override { return config_.n; }
   Micros Now() override { return clock_.Now(); }
-  void Send(PeerId peer, const wire::Packet& p) override;
+  using Transport::Send;
+  void Send(PeerId peer, const wire::Packet& p, TraceContext tc) override;
   void Poll(std::vector<TransportEvent>& out) override;
   std::optional<Micros> NextWake() const override;
   TransportStats Stats() const override;
+  std::uint64_t epoch() const override { return epoch_; }
+  const obs::FlightRecorder* recorder() const override {
+    return &recorder_;
+  }
 
  private:
   ReliableSession& Session(PeerId peer);
@@ -56,6 +62,7 @@ class UdpTransport final : public Transport {
   Rng loss_rng_;
   std::uint64_t epoch_;
   int fd_ = -1;
+  obs::FlightRecorder recorder_;
   std::vector<std::unique_ptr<ReliableSession>> sessions_;
   TransportStats stats_;
 };

@@ -35,6 +35,25 @@ void Histogram::Merge(const Histogram& o) {
   count_ += o.count_;
 }
 
+std::optional<Histogram> Histogram::FromParts(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+    std::uint64_t sum, std::uint64_t min, std::uint64_t max) {
+  if (buckets.size() > kBuckets) return std::nullopt;
+  Histogram h;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    h.counts_[b] = buckets[b];
+    total += buckets[b];
+  }
+  if (total != count) return std::nullopt;
+  if (count > 0 && min > max) return std::nullopt;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = count ? min : 0;
+  h.max_ = max;
+  return h;
+}
+
 std::uint64_t Histogram::ApproxQuantile(double q) const {
   if (count_ == 0) return 0;
   if (q <= 0.0) return min();

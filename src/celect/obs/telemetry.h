@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "celect/util/thread_annotations.h"
@@ -29,6 +30,15 @@ class Histogram {
 
   void Add(std::uint64_t v);
   void Merge(const Histogram& o);
+
+  // Rebuild a histogram from previously exported parts (shard files,
+  // wire snapshots). `buckets` may be shorter than kBuckets — the tail
+  // is zero-filled. Rejects inconsistent parts (bucket total != count,
+  // min > max, too many buckets) so a corrupt shard cannot smuggle in
+  // an unmergeable histogram.
+  static std::optional<Histogram> FromParts(
+      const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+      std::uint64_t sum, std::uint64_t min, std::uint64_t max);
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "celect/obs/shard.h"
 #include "celect/sim/trace.h"
 
 namespace celect::obs {
@@ -34,5 +35,18 @@ std::string ExportChromeTrace(const std::vector<sim::TraceRecord>& records,
 bool WriteChromeTrace(const std::string& path,
                       const std::vector<sim::TraceRecord>& records,
                       const TraceExportOptions& opts = {});
+
+// Multi-process variant: one Perfetto process per shard (pid = position
+// in `shards` + 1, labelled "node N <label> epoch=E"), flight-recorder
+// events as instants on the same track, and flow arrows that cross
+// process boundaries because mids are globally unique. Pass
+// ShardReducer::Merged() for canonical ordering — the bytes are then a
+// pure function of the shard set, independent of arrival order.
+std::string ExportMergedChromeTrace(const std::vector<TraceShard>& shards,
+                                    const TraceExportOptions& opts = {});
+
+bool WriteMergedChromeTrace(const std::string& path,
+                            const std::vector<TraceShard>& shards,
+                            const TraceExportOptions& opts = {});
 
 }  // namespace celect::obs

@@ -48,15 +48,6 @@ bool IsMessageOutcome(TraceRecord::Kind k) {
          k == TraceRecord::Kind::kDuplicate;
 }
 
-std::string RecordLine(const TraceRecord& r) {
-  std::ostringstream os;
-  os << r.seq << " " << sim::ToString(r.kind) << " at=" << r.at.ticks()
-     << " node=" << r.node << " peer=" << r.peer << " port=" << r.port
-     << " type=" << r.type << " clock=" << r.clock << " mid=" << r.mid
-     << " phase=" << PhaseKey(r.phase, r.phase_level);
-  return os.str();
-}
-
 // "key=value" → value, checking the key; nullopt on mismatch.
 std::optional<std::string> TakeField(const std::string& token,
                                      const char* key) {
@@ -70,6 +61,17 @@ std::optional<std::int64_t> ParseInt(const std::string& s) {
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+// seq/clock/mid use the full unsigned range (wire mids are random
+// 64-bit values), so they get their own parse instead of ParseInt.
+std::optional<std::uint64_t> ParseUint(const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
   if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
   return v;
 }
@@ -91,10 +93,79 @@ std::optional<std::pair<PhaseId, std::int64_t>> ParsePhaseKey(
 
 }  // namespace
 
+std::string SerializeRecord(const sim::TraceRecord& r) {
+  std::ostringstream os;
+  os << r.seq << " " << sim::ToString(r.kind) << " at=" << r.at.ticks()
+     << " node=" << r.node << " peer=" << r.peer << " port=" << r.port
+     << " type=" << r.type << " clock=" << r.clock << " mid=" << r.mid
+     << " phase=" << PhaseKey(r.phase, r.phase_level);
+  return os.str();
+}
+
+std::optional<sim::TraceRecord> ParseRecordLine(const std::string& line,
+                                                std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  std::istringstream ls(line);
+  std::string seq_tok, kind_tok;
+  std::string at_tok, node_tok, peer_tok, port_tok, type_tok, clock_tok,
+      mid_tok, phase_tok;
+  if (!(ls >> seq_tok >> kind_tok >> at_tok >> node_tok >> peer_tok >>
+        port_tok >> type_tok >> clock_tok >> mid_tok >> phase_tok)) {
+    return fail("expected 10 tokens");
+  }
+  std::string rest;
+  if (ls >> rest) return fail("trailing tokens");
+  TraceRecord r{};
+  const auto seq = ParseUint(seq_tok);
+  if (!seq) return fail("bad seq");
+  r.seq = *seq;
+  const auto kind = KindFromName(kind_tok);
+  if (!kind) return fail("unknown kind '" + kind_tok + "'");
+  r.kind = *kind;
+  const auto at = TakeField(at_tok, "at");
+  const auto node = TakeField(node_tok, "node");
+  const auto peer = TakeField(peer_tok, "peer");
+  const auto port = TakeField(port_tok, "port");
+  const auto type = TakeField(type_tok, "type");
+  const auto clock = TakeField(clock_tok, "clock");
+  const auto mid = TakeField(mid_tok, "mid");
+  const auto phase = TakeField(phase_tok, "phase");
+  if (!at || !node || !peer || !port || !type || !clock || !mid ||
+      !phase) {
+    return fail("malformed field");
+  }
+  const auto at_v = ParseInt(*at);
+  const auto node_v = ParseInt(*node);
+  const auto peer_v = ParseInt(*peer);
+  const auto port_v = ParseInt(*port);
+  const auto type_v = ParseInt(*type);
+  const auto clock_v = ParseUint(*clock);
+  const auto mid_v = ParseUint(*mid);
+  if (!at_v || !node_v || !peer_v || !port_v || !type_v || !clock_v ||
+      !mid_v) {
+    return fail("non-numeric field");
+  }
+  r.at = sim::Time::FromTicks(*at_v);
+  r.node = static_cast<sim::NodeId>(*node_v);
+  r.peer = static_cast<sim::NodeId>(*peer_v);
+  r.port = static_cast<sim::Port>(*port_v);
+  r.type = static_cast<std::uint16_t>(*type_v);
+  r.clock = *clock_v;
+  r.mid = *mid_v;
+  const auto ph = ParsePhaseKey(*phase);
+  if (!ph) return fail("unknown phase '" + *phase + "'");
+  r.phase = ph->first;
+  r.phase_level = ph->second;
+  return r;
+}
+
 std::string SerializeRecords(
     const std::vector<sim::TraceRecord>& records) {
   std::ostringstream os;
-  for (const auto& r : records) os << RecordLine(r) << "\n";
+  for (const auto& r : records) os << SerializeRecord(r) << "\n";
   return os.str();
 }
 
@@ -104,69 +175,20 @@ std::optional<std::vector<sim::TraceRecord>> ParseRecords(
   std::istringstream in(text);
   std::string line;
   std::size_t lineno = 0;
-  const auto fail = [&](const std::string& why) {
-    if (error) {
-      std::ostringstream os;
-      os << "line " << lineno << ": " << why;
-      *error = os.str();
-    }
-    return std::nullopt;
-  };
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string seq_tok, kind_tok;
-    std::string at_tok, node_tok, peer_tok, port_tok, type_tok, clock_tok,
-        mid_tok, phase_tok;
-    if (!(ls >> seq_tok >> kind_tok >> at_tok >> node_tok >> peer_tok >>
-          port_tok >> type_tok >> clock_tok >> mid_tok >> phase_tok)) {
-      return fail("expected 10 tokens");
+    std::string why;
+    auto r = ParseRecordLine(line, &why);
+    if (!r) {
+      if (error) {
+        std::ostringstream os;
+        os << "line " << lineno << ": " << why;
+        *error = os.str();
+      }
+      return std::nullopt;
     }
-    std::string rest;
-    if (ls >> rest) return fail("trailing tokens");
-    TraceRecord r{};
-    const auto seq = ParseInt(seq_tok);
-    if (!seq || *seq < 0) return fail("bad seq");
-    r.seq = static_cast<std::uint64_t>(*seq);
-    const auto kind = KindFromName(kind_tok);
-    if (!kind) return fail("unknown kind '" + kind_tok + "'");
-    r.kind = *kind;
-    const auto at = TakeField(at_tok, "at");
-    const auto node = TakeField(node_tok, "node");
-    const auto peer = TakeField(peer_tok, "peer");
-    const auto port = TakeField(port_tok, "port");
-    const auto type = TakeField(type_tok, "type");
-    const auto clock = TakeField(clock_tok, "clock");
-    const auto mid = TakeField(mid_tok, "mid");
-    const auto phase = TakeField(phase_tok, "phase");
-    if (!at || !node || !peer || !port || !type || !clock || !mid ||
-        !phase) {
-      return fail("malformed field");
-    }
-    const auto at_v = ParseInt(*at);
-    const auto node_v = ParseInt(*node);
-    const auto peer_v = ParseInt(*peer);
-    const auto port_v = ParseInt(*port);
-    const auto type_v = ParseInt(*type);
-    const auto clock_v = ParseInt(*clock);
-    const auto mid_v = ParseInt(*mid);
-    if (!at_v || !node_v || !peer_v || !port_v || !type_v || !clock_v ||
-        !mid_v) {
-      return fail("non-numeric field");
-    }
-    r.at = sim::Time::FromTicks(*at_v);
-    r.node = static_cast<sim::NodeId>(*node_v);
-    r.peer = static_cast<sim::NodeId>(*peer_v);
-    r.port = static_cast<sim::Port>(*port_v);
-    r.type = static_cast<std::uint16_t>(*type_v);
-    r.clock = static_cast<std::uint64_t>(*clock_v);
-    r.mid = static_cast<std::uint64_t>(*mid_v);
-    const auto ph = ParsePhaseKey(*phase);
-    if (!ph) return fail("unknown phase '" + *phase + "'");
-    r.phase = ph->first;
-    r.phase_level = ph->second;
-    out.push_back(r);
+    out.push_back(*r);
   }
   return out;
 }
@@ -195,7 +217,7 @@ std::vector<std::string> CheckRecords(
   const auto problem = [&](std::size_t i, const std::string& why) {
     if (problems.size() >= 50) return;  // enough to act on
     std::ostringstream os;
-    os << "record " << i << " (" << RecordLine(records[i]) << "): " << why;
+    os << "record " << i << " (" << SerializeRecord(records[i]) << "): " << why;
     problems.push_back(os.str());
   };
 
@@ -268,8 +290,8 @@ std::optional<std::string> DiffRecords(
     const std::vector<sim::TraceRecord>& b) {
   const std::size_t common = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < common; ++i) {
-    const std::string la = RecordLine(a[i]);
-    const std::string lb = RecordLine(b[i]);
+    const std::string la = SerializeRecord(a[i]);
+    const std::string lb = SerializeRecord(b[i]);
     if (la != lb) {
       std::ostringstream os;
       os << "record " << i << " differs:\n  a: " << la << "\n  b: " << lb;

@@ -24,6 +24,16 @@ namespace celect::obs {
 
 std::string SerializeRecords(const std::vector<sim::TraceRecord>& records);
 
+// One compact line (no trailing newline) for a single record. Shard
+// files embed record lines between their header sections, so the
+// per-line form is public alongside the whole-trace helpers.
+std::string SerializeRecord(const sim::TraceRecord& r);
+
+// nullopt on malformed input, with a message in *error (no line prefix —
+// the caller knows the line number).
+std::optional<sim::TraceRecord> ParseRecordLine(const std::string& line,
+                                                std::string* error);
+
 // nullopt on malformed input, with a line-numbered message in *error.
 std::optional<std::vector<sim::TraceRecord>> ParseRecords(
     const std::string& text, std::string* error);

@@ -14,6 +14,7 @@
 #include "celect/net/reliable.h"
 #include "celect/wire/checksum.h"
 #include "celect/wire/packet_codec.h"
+#include "celect/wire/varint.h"
 
 namespace celect::net {
 namespace {
@@ -34,6 +35,7 @@ struct Pair {
   FakeLink ba;  // b -> a
   std::vector<wire::Packet> got_a;  // delivered to a
   std::vector<wire::Packet> got_b;
+  std::vector<TraceContext> tc_b;   // trace context riding each delivery
   bool b_attached = true;  // false models a dead/unstarted peer
 
   Pair(const SessionParams& sp, const FakeLinkParams& lp,
@@ -73,9 +75,12 @@ struct Pair {
     a.Tick(now);
     if (b_attached) b.Tick(now);
     Flush();
-    for (auto& p : a.delivered()) got_a.push_back(std::move(p));
+    for (auto& d : a.delivered()) got_a.push_back(std::move(d.packet));
     a.delivered().clear();
-    for (auto& p : b.delivered()) got_b.push_back(std::move(p));
+    for (auto& d : b.delivered()) {
+      tc_b.push_back(d.tc);
+      got_b.push_back(std::move(d.packet));
+    }
     b.delivered().clear();
   }
 
@@ -365,6 +370,74 @@ TEST(NetReliable, CorruptDatagramsNeverDeliverWrongPackets) {
   ASSERT_EQ(pair.got_b.size(), 60u);
   for (int i = 0; i < 60; ++i) EXPECT_EQ(pair.got_b[i].field(0), i);
   EXPECT_GT(pair.b.stats().frame_errors + pair.a.stats().frame_errors, 0u);
+}
+
+TEST(NetReliable, RttSampleCapTruncatesVisibly) {
+  SessionParams sp;
+  sp.rtt_sample_cap = 8;
+  FakeLinkParams lp;
+  Pair pair(sp, lp);
+  for (int i = 0; i < 50; ++i) {
+    pair.a.SendPacket(MakePacket(i), pair.clock.Now());
+  }
+  pair.RunUntil(30'000'000);
+  ASSERT_EQ(pair.got_b.size(), 50u);
+  const SessionStats& st = pair.a.stats();
+  // The bounded percentile buffer stops at the cap, the overflow is
+  // counted, and the histogram keeps absorbing every sample.
+  EXPECT_EQ(st.rtt_samples.size(), 8u);
+  EXPECT_GT(st.rtt_samples_dropped, 0u);
+  EXPECT_EQ(st.rtt_samples.size() + st.rtt_samples_dropped, st.rtt_count);
+  EXPECT_EQ(st.rtt_us.count(), st.rtt_count);
+}
+
+TEST(NetReliable, WrongWireVersionIsRejectedAtTheDoor) {
+  SessionParams sp;
+  ReliableSession s(0xB0B, sp);
+
+  // A future-version peer: Hello carrying kWireVersion + 1.
+  std::vector<std::uint8_t> payload;
+  wire::PutVarint(payload, 0xA11CE);           // epoch
+  wire::PutVarint(payload, 1);                 // start seq
+  wire::PutVarint(payload, kWireVersion + 1);  // version
+  std::vector<std::uint8_t> dgram;
+  EncodeFrame(FrameKind::kHello, payload, dgram);
+  s.OnDatagram(dgram.data(), dgram.size(), 1000);
+  EXPECT_EQ(s.stats().version_mismatch, 1u);
+  EXPECT_EQ(s.remote_epoch(), 0u);
+  EXPECT_TRUE(s.outbox().empty()) << "no HelloAck for a rejected peer";
+
+  // A version-1 peer: its Hello predates the version field entirely.
+  payload.clear();
+  wire::PutVarint(payload, 0xA11CE);
+  wire::PutVarint(payload, 1);
+  dgram.clear();
+  EncodeFrame(FrameKind::kHello, payload, dgram);
+  s.OnDatagram(dgram.data(), dgram.size(), 2000);
+  EXPECT_EQ(s.stats().version_mismatch, 2u);
+  EXPECT_FALSE(s.established());
+  EXPECT_TRUE(s.outbox().empty());
+}
+
+TEST(NetReliable, TraceContextSurvivesTheWire) {
+  SessionParams sp;
+  FakeLinkParams lp;
+  lp.loss = 0.2;  // retransmits must not re-stamp the frozen context
+  lp.seed = 77;
+  Pair pair(sp, lp);
+  for (int i = 0; i < 40; ++i) {
+    pair.a.SendPacket(MakePacket(i), pair.clock.Now(),
+                      TraceContext{100u + static_cast<std::uint64_t>(i),
+                                   5000u + static_cast<std::uint64_t>(i)});
+  }
+  pair.RunUntil(120'000'000);
+  ASSERT_EQ(pair.got_b.size(), 40u);
+  ASSERT_EQ(pair.tc_b.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(pair.got_b[i].field(0), i);
+    EXPECT_EQ(pair.tc_b[i].clock, 100u + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(pair.tc_b[i].mid, 5000u + static_cast<std::uint64_t>(i));
+  }
 }
 
 }  // namespace

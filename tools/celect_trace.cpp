@@ -8,7 +8,15 @@
 //   celect_trace check   IN.trace|IN.json [--fifo=0]
 //       Semantic validation of a compact trace (Lamport monotonicity,
 //       flow pairing, per-link FIFO), or a structural scan of an
-//       exported .json. Exit 1 on any problem.
+//       exported .json. Shard files (leading "#shard") get the
+//       cross-process checks: per-incarnation clock discipline, global
+//       mid uniqueness, send/deliver pairing across shards, per-session
+//       FIFO. Exit 1 on any problem.
+//   celect_trace merge   SHARD... [--out=MERGED] [--perfetto=PATH]
+//       Folds per-process shard files into one canonical merged shard
+//       file (and optionally one Perfetto timeline with a track per
+//       process and cross-process flow arrows). Byte-identical output
+//       for any argument order.
 //   celect_trace text    IN.trace [--limit=N]
 //       Human-readable listing.
 //   celect_trace filter  IN.trace --out=OUT.trace
@@ -32,6 +40,7 @@
 
 #include "celect/harness/experiment.h"
 #include "celect/harness/registry.h"
+#include "celect/obs/shard.h"
 #include "celect/obs/trace_export.h"
 #include "celect/obs/trace_inspect.h"
 #include "celect/util/flags.h"
@@ -178,11 +187,30 @@ int CmdCheck(Flags& flags) {
   std::string text, error;
   if (!ReadFile(path, &text, &error)) return Fail(error);
 
-  // Exported documents get the structural JSON scan; everything else is
-  // parsed as a compact trace and checked semantically.
+  // Exported documents get the structural JSON scan; shard files get
+  // the cross-process checks; everything else is parsed as a compact
+  // trace and checked semantically.
   if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
-    if (auto problem = obs::ValidateJson(text)) return Fail(path + ": " + *problem);
+    if (auto problem = obs::ValidateJson(text)) {
+      return Fail(path + ": " + *problem);
+    }
     std::cerr << path << ": well-formed JSON\n";
+    return 0;
+  }
+  if (text.compare(0, 6, "#shard") == 0) {
+    auto shards = obs::ParseShards(text, &error);
+    if (!shards) return Fail(path + ": " + error);
+    obs::ShardCheckOptions so;
+    so.expect_fifo = fifo;
+    std::vector<std::string> problems = obs::CheckShards(*shards, so);
+    for (const std::string& p : problems) {
+      std::cerr << path << ": " << p << "\n";
+    }
+    if (!problems.empty()) return 1;
+    std::size_t records = 0;
+    for (const auto& s : *shards) records += s.records.size();
+    std::cerr << path << ": " << shards->size() << " shards, " << records
+              << " records, coherent\n";
     return 0;
   }
   auto parsed = obs::ParseRecords(text, &error);
@@ -193,6 +221,46 @@ int CmdCheck(Flags& flags) {
   for (const std::string& p : problems) std::cerr << path << ": " << p << "\n";
   if (!problems.empty()) return 1;
   std::cerr << path << ": " << parsed->size() << " records, coherent\n";
+  return 0;
+}
+
+int CmdMerge(Flags& flags) {
+  std::string out_path = flags.GetString(
+      "out", "", "merged shard file output path (default stdout)");
+  std::string perfetto =
+      flags.GetString("perfetto", "", "also write a Perfetto JSON timeline");
+  std::string process =
+      flags.GetString("name", "celect merged", "Perfetto process label");
+  if (flags.help_requested() || flags.positional().size() < 2) {
+    std::cout << "usage: celect_trace merge SHARD... [--out=MERGED]"
+                 " [--perfetto=OUT.json] [--name=LABEL]\n";
+    return flags.help_requested() ? 0 : 1;
+  }
+  obs::ShardReducer reducer;
+  for (std::size_t i = 1; i < flags.positional().size(); ++i) {
+    const std::string& path = flags.positional()[i];
+    std::string text, error;
+    if (!ReadFile(path, &text, &error)) return Fail(error);
+    auto shards = obs::ParseShards(text, &error);
+    if (!shards) return Fail(path + ": " + error);
+    for (auto& s : *shards) reducer.Add(std::move(s));
+  }
+  std::string merged = reducer.SerializeMerged();
+  std::string error;
+  if (out_path.empty()) {
+    std::cout << merged;
+  } else if (!WriteFile(out_path, merged, &error)) {
+    return Fail(error);
+  }
+  if (!perfetto.empty()) {
+    obs::TraceExportOptions eo;
+    eo.process_name = process;
+    if (!obs::WriteMergedChromeTrace(perfetto, reducer.Merged(), eo)) {
+      return Fail("cannot write " + perfetto);
+    }
+  }
+  std::cerr << "merged " << reducer.added() << " shards into "
+            << reducer.Merged().size() << " incarnations\n";
   return 0;
 }
 
@@ -213,8 +281,8 @@ int CmdText(Flags& flags) {
 int CmdFilter(Flags& flags) {
   obs::TraceFilter filter;
   if (flags.Has("node")) {
-    filter.node =
-        static_cast<sim::NodeId>(flags.GetInt("node", 0, "acting node or peer"));
+    filter.node = static_cast<sim::NodeId>(
+        flags.GetInt("node", 0, "acting node or peer"));
   }
   if (flags.Has("type")) {
     filter.type =
@@ -293,11 +361,12 @@ int main(int argc, char** argv) {
   if (cmd == "record") return CmdRecord(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "check") return CmdCheck(flags);
+  if (cmd == "merge") return CmdMerge(flags);
   if (cmd == "text") return CmdText(flags);
   if (cmd == "filter") return CmdFilter(flags);
   if (cmd == "diff") return CmdDiff(flags);
   if (cmd == "chain") return CmdChain(flags);
-  std::cout << "usage: celect_trace <record|convert|check|text|filter|diff|"
-               "chain> [args]\n       (each subcommand takes --help)\n";
+  std::cout << "usage: celect_trace <record|convert|check|merge|text|filter|"
+               "diff|chain> [args]\n       (each subcommand takes --help)\n";
   return cmd.empty() && flags.help_requested() ? 0 : 1;
 }

@@ -63,10 +63,22 @@ HISTOGRAM_REQUIRED = {
     "p99",
     "buckets",
 }
-# Every histograms section carries the three runtime-fed histograms;
-# suites that measure re-elections (churn) append election_latency.
-HISTOGRAM_NAMES = {"latency", "queue_depth", "capture_width"}
-HISTOGRAM_OPTIONAL = {"election_latency"}
+# The known histogram vocabulary. Simulation suites emit the
+# runtime-fed trio (latency/queue_depth/capture_width, plus
+# election_latency for churn sweeps); transport suites emit the
+# session-layer distributions (rtt_us/backoff_us/window_occupancy/
+# suspicion_us). Any non-empty subset is valid — a suite emits what it
+# measures — but an unknown name is always a schema error.
+KNOWN_HISTOGRAMS = {
+    "latency",
+    "queue_depth",
+    "capture_width",
+    "election_latency",
+    "rtt_us",
+    "backoff_us",
+    "window_occupancy",
+    "suspicion_us",
+}
 
 
 def fail(path, message):
@@ -152,13 +164,13 @@ def check_document(path, strict=False):
         hists = doc["histograms"]
         if (
             not isinstance(hists, dict)
-            or not HISTOGRAM_NAMES <= set(hists)
-            or set(hists) - HISTOGRAM_NAMES - HISTOGRAM_OPTIONAL
+            or not hists
+            or set(hists) - KNOWN_HISTOGRAMS
         ):
             fail(
                 path,
-                f"histograms: expected keys {HISTOGRAM_NAMES} "
-                f"(plus optional {HISTOGRAM_OPTIONAL})",
+                "histograms: expected a non-empty subset of "
+                f"{sorted(KNOWN_HISTOGRAMS)}",
             )
         for name, value in hists.items():
             check_histogram(path, name, value)
